@@ -1,0 +1,303 @@
+// Command locad is the command-line front end of the localadvice library:
+// it generates graphs, runs advice schemas end to end, and regenerates the
+// experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	locad exp [E1 ... E8]        run experiments (all by default)
+//	locad orient  -graph cycle -n 200
+//	locad color3  -graph cycle -n 120
+//	locad deltacolor -graph torus -n 48
+//	locad compress -d 6 -n 120
+//	locad graphinfo -graph grid -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"localadvice/internal/coloring"
+	"localadvice/internal/core"
+	"localadvice/internal/decompress"
+	"localadvice/internal/graph"
+	"localadvice/internal/harness"
+	"localadvice/internal/lcl"
+	"localadvice/internal/orient"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "locad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "exp":
+		return cmdExp(args[1:])
+	case "orient":
+		return cmdOrient(args[1:])
+	case "color3":
+		return cmdColor3(args[1:])
+	case "deltacolor":
+		return cmdDeltaColor(args[1:])
+	case "compress":
+		return cmdCompress(args[1:])
+	case "graphinfo":
+		return cmdGraphInfo(args[1:])
+	case "prove":
+		return cmdProve(args[1:])
+	case "verifyproof":
+		return cmdVerifyProof(args[1:])
+	case "dot":
+		return cmdDot(args[1:])
+	case "gen":
+		return cmdGen(args[1:])
+	case "load":
+		return cmdLoad(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `locad — local computation with advice (PODC 2024 reproduction)
+
+subcommands:
+  exp [E1 ... E8]   run experiments and print their tables (all by default)
+  orient            encode+decode an almost-balanced orientation
+  color3            encode+decode a 3-coloring with 1 bit per node
+  deltacolor        encode+decode a Δ-coloring via the Section 6 pipeline
+  compress          compress and decompress a random edge subset
+  graphinfo         print a generated graph's parameters
+  prove             emit a 1-bit locally checkable proof that an LCL is solvable
+  verifyproof       run the distributed verifier on a proof string
+  dot               render a graph (+ optional schema overlay) as Graphviz DOT
+  gen               write a generated graph in the edge-list text format
+  load              parse and validate an edge-list file
+
+common flags: -graph {cycle,path,grid,torus,regular,planted3,planted4} -n <size> -seed <s>
+`)
+}
+
+func cmdExp(args []string) error {
+	ids := args
+	if len(ids) == 0 {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(harness.IDs(), ", "))
+		}
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		table.Render(os.Stdout)
+	}
+	return nil
+}
+
+// graphFlags parses the shared graph-construction flags.
+func graphFlags(fs *flag.FlagSet) (kind *string, n *int, seed *int64) {
+	kind = fs.String("graph", "cycle", "graph family: cycle, path, grid, torus, regular, planted3, planted4")
+	n = fs.Int("n", 120, "graph size (nodes; grids/tori use the nearest rectangle)")
+	seed = fs.Int64("seed", 1, "random seed for generated graphs and IDs")
+	return
+}
+
+func makeGraph(kind string, n int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "grid":
+		side := intSqrt(n)
+		return graph.Grid2D(side, (n+side-1)/side), nil
+	case "torus":
+		side := intSqrt(n)
+		if side < 3 {
+			side = 3
+		}
+		return graph.Torus2D(side, (n+side-1)/side), nil
+	case "regular":
+		return graph.RandomRegular(n, 4, rng)
+	case "planted3":
+		g, _ := graph.RandomColorable(n, 3, 0.12, rng)
+		graph.AssignPermutedIDs(g, rng)
+		return g, nil
+	case "planted4":
+		g, _ := graph.RandomColorable(n, 4, 0.22, rng)
+		graph.AssignPermutedIDs(g, rng)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func cmdOrient(args []string) error {
+	fs := flag.NewFlagSet("orient", flag.ContinueOnError)
+	kind, n, seed := graphFlags(fs)
+	spacing := fs.Int("spacing", 12, "mark spacing along trails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := makeGraph(*kind, *n, *seed)
+	if err != nil {
+		return err
+	}
+	s := orient.Schema{P: orient.Params{MarkSpacing: *spacing, MarkWindow: *spacing}}
+	va, err := s.EncodeVar(g, nil)
+	if err != nil {
+		return err
+	}
+	sol, stats, err := s.DecodeVar(g, va, nil)
+	if err != nil {
+		return err
+	}
+	if err := lcl.Verify(lcl.BalancedOrientation{}, g, sol); err != nil {
+		return err
+	}
+	fmt.Printf("%s: almost-balanced orientation decoded and verified\n", g)
+	fmt.Printf("  bit holders: %d (%d advice bits total), decode rounds: %d\n",
+		len(va), va.TotalBits(), stats.Rounds)
+	_, base := orient.NoAdviceOrientation(g)
+	fmt.Printf("  no-advice baseline would need %d rounds\n", base.Rounds)
+	return nil
+}
+
+func cmdColor3(args []string) error {
+	fs := flag.NewFlagSet("color3", flag.ContinueOnError)
+	kind, n, seed := graphFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := makeGraph(*kind, *n, *seed)
+	if err != nil {
+		return err
+	}
+	schema := coloring.ThreeColoring{CoverRadius: 10, GroupSpread: 2}
+	advice, err := schema.Encode(g)
+	if err != nil {
+		return err
+	}
+	sol, stats, err := schema.Decode(g, advice)
+	if err != nil {
+		return err
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		return err
+	}
+	ratio, err := core.Sparsity(advice)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: proper 3-coloring decoded from 1 bit per node\n", g)
+	fmt.Printf("  ones ratio: %.4f, decode rounds: %d\n", ratio, stats.Rounds)
+	return nil
+}
+
+func cmdDeltaColor(args []string) error {
+	fs := flag.NewFlagSet("deltacolor", flag.ContinueOnError)
+	kind, n, seed := graphFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := makeGraph(*kind, *n, *seed)
+	if err != nil {
+		return err
+	}
+	delta := g.MaxDegree()
+	p := coloring.NewDeltaPipeline(delta, 4)
+	va, err := p.EncodeVar(g, nil)
+	if err != nil {
+		return err
+	}
+	sol, stats, err := p.DecodeVar(g, va, nil)
+	if err != nil {
+		return err
+	}
+	if err := lcl.Verify(lcl.Coloring{K: delta}, g, sol); err != nil {
+		return err
+	}
+	fmt.Printf("%s: Δ-coloring with Δ = %d decoded and verified\n", g, delta)
+	fmt.Printf("  bit holders: %d, decode rounds: %d, colors used: %d\n",
+		len(va), stats.Rounds, coloring.MaxColor(sol.Node))
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ContinueOnError)
+	n := fs.Int("n", 120, "nodes")
+	deg := fs.Int("d", 6, "degree of the random regular graph")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := graph.RandomRegular(*n, *deg, rng)
+	if err != nil {
+		return err
+	}
+	x := make(decompress.EdgeSet)
+	for e := 0; e < g.M(); e++ {
+		if rng.Intn(2) == 0 {
+			x[e] = true
+		}
+	}
+	spacing := 20
+	if *deg >= 8 {
+		spacing = 30
+	}
+	for _, codec := range []decompress.Codec{decompress.Trivial{}, decompress.Oriented{P: orient.Params{MarkSpacing: spacing, MarkWindow: spacing}}} {
+		st, err := decompress.Measure(codec, g, x)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s avg %.2f bits/node, max %d, rounds %d, exact %v (counting bound %.1f)\n",
+			st.Codec+":", st.AvgBits, st.MaxBits, st.Rounds, st.Exact, st.LowerBound)
+	}
+	return nil
+}
+
+func cmdGraphInfo(args []string) error {
+	fs := flag.NewFlagSet("graphinfo", flag.ContinueOnError)
+	kind, n, seed := graphFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := makeGraph(*kind, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s diameter=%d connected=%v evenDegrees=%v\n",
+		g, g.Diameter(), g.IsConnected(), g.AllDegreesEven())
+	prof := g.GrowthProfile(5)
+	fmt.Printf("growth |N<=r|: %v\n", prof)
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"orient cycle", []string{"orient", "-graph", "cycle", "-n", "120"}},
+		{"orient torus", []string{"orient", "-graph", "torus", "-n", "36"}},
+		{"color3", []string{"color3", "-graph", "cycle", "-n", "80"}},
+		{"deltacolor torus", []string{"deltacolor", "-graph", "torus", "-n", "36"}},
+		{"compress", []string{"compress", "-d", "4", "-n", "80"}},
+		{"graphinfo", []string{"graphinfo", "-graph", "grid", "-n", "49"}},
+		{"exp e2", []string{"exp", "E2"}},
+		{"prove mis", []string{"prove", "-graph", "cycle", "-n", "150", "-problem", "mis", "-radius", "25"}},
+		{"help", []string{"help"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"unknown experiment", []string{"exp", "E99"}},
+		{"unknown graph", []string{"orient", "-graph", "klein-bottle"}},
+		{"bad proof problem", []string{"prove", "-problem", "traveling-salesman"}},
+		{"wrong proof length", []string{"verifyproof", "-graph", "cycle", "-n", "10", "-proof", "01"}},
+		{"bad proof chars", []string{"verifyproof", "-graph", "cycle", "-n", "3", "-proof", "0x1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestMakeGraphFamilies(t *testing.T) {
+	for _, kind := range []string{"cycle", "path", "grid", "torus", "regular", "planted3", "planted4"} {
+		g, err := makeGraph(kind, 40, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 30 {
+			t.Errorf("%s: suspiciously small graph n=%d", kind, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 1}, {4, 2}, {48, 6}, {49, 7}, {100, 10}} {
+		if got := intSqrt(tc.in); got != tc.want {
+			t.Errorf("intSqrt(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGrowthSchemaNames(t *testing.T) {
+	for _, p := range []string{"3-coloring", "4-coloring", "mis", "maximal-matching"} {
+		if _, err := growthSchema(p, 20); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+	if _, err := growthSchema("nope", 20); err == nil {
+		t.Error("unknown problem accepted")
+	}
+}
+
+func TestHead(t *testing.T) {
+	if got := head([]int{1, 2, 3}, 2); len(got) != 2 {
+		t.Errorf("head = %v", got)
+	}
+	if got := head([]int{1}, 5); len(got) != 1 {
+		t.Errorf("head = %v", got)
+	}
+}
+
+func TestUsageMentionsAllSubcommands(t *testing.T) {
+	// usage writes to stderr; just ensure the command table stays in sync
+	// by checking run() dispatches everything usage lists.
+	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "prove", "verifyproof"} {
+		// Dispatching with bad flags still proves the subcommand exists:
+		// flag parse errors differ from "unknown subcommand".
+		err := run([]string{sub, "-definitely-not-a-flag"})
+		if err != nil && strings.Contains(err.Error(), "unknown subcommand") {
+			t.Errorf("subcommand %q not dispatched", sub)
+		}
+	}
+}
+
+func TestDotGenLoad(t *testing.T) {
+	dir := t.TempDir()
+	el := dir + "/g.el"
+	if err := run([]string{"gen", "-graph", "torus", "-n", "25", "-o", el}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"load", "-i", el}); err != nil {
+		t.Fatal(err)
+	}
+	dot := dir + "/g.dot"
+	if err := run([]string{"dot", "-graph", "cycle", "-n", "40", "-schema", "orient", "-o", dot}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("dot output missing digraph")
+	}
+	if err := run([]string{"dot", "-graph", "cycle", "-n", "20", "-schema", "nope"}); err == nil {
+		t.Error("unknown overlay accepted")
+	}
+	if err := run([]string{"load", "-i", dir + "/missing.el"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"load"}); err == nil {
+		t.Error("load without -i accepted")
+	}
+}

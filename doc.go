@@ -1,0 +1,11 @@
+// Package localadvice is a Go reproduction of "Brief Announcement: Local
+// Advice and Local Decompression" (Balliu, Brandt, Kuhn, Nowicki, Olivetti,
+// Rotenberg, Suomela; PODC 2024): a LOCAL-model simulator, the paper's
+// advice-schema framework (schemas, sparsity, composability, the
+// variable-length to one-bit conversion), and executable constructions for
+// each of the paper's six contributions, with an experiment harness that
+// regenerates every result table.
+//
+// The implementation lives under internal/; see README.md for the map and
+// cmd/locad for the command-line front end.
+package localadvice

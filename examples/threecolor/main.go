@@ -1,0 +1,51 @@
+// Threecolor: Theorem 7.1. 3-coloring a 3-colorable graph is NP-hard
+// centrally and global in the LOCAL model, yet exactly ONE bit of advice
+// per node lets every node pick its color after poly(Δ) rounds. One bit
+// marks the nodes of color 1; extra mark groups inside each large
+// {2,3}-component carry the parity hint that picks the right 2-coloring.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"localadvice/internal/coloring"
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	g, planted := graph.RandomColorable(60, 3, 0.12, rng)
+	graph.AssignPermutedIDs(g, rng)
+	fmt.Printf("graph: %v (3-colorable by construction; planted coloring hidden from the schema)\n", g)
+	_ = planted // the schema re-derives its own coloring with an exact solver
+
+	schema := coloring.ThreeColoring{CoverRadius: 10, GroupSpread: 2}
+	advice, err := schema.Encode(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, beta := core.Classify(advice)
+	ratio, err := core.Sparsity(advice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advice: %v, beta = %d bit per node, ones ratio %.3f\n", kind, beta, ratio)
+
+	sol, stats, err := schema.Decode(g, advice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, c := range sol.Node {
+		counts[c]++
+	}
+	fmt.Printf("decoded a proper 3-coloring in %d rounds; class sizes: %v\n", stats.Rounds, counts)
+	fmt.Println("note the ones ratio stays bounded away from zero — Section 7 conjectures this advice cannot be made arbitrarily sparse")
+}

@@ -1,0 +1,3 @@
+module localadvice
+
+go 1.24

@@ -1,0 +1,239 @@
+package bitstr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndString(t *testing.T) {
+	tests := []struct {
+		name string
+		bits []int
+		want string
+	}{
+		{"empty", nil, ""},
+		{"single zero", []int{0}, "0"},
+		{"single one", []int{1}, "1"},
+		{"mixed", []int{1, 0, 1, 1, 0}, "10110"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := New(tt.bits...).String(); got != tt.want {
+				t.Errorf("New(%v).String() = %q, want %q", tt.bits, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewPanicsOnBadBit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(2) did not panic")
+		}
+	}()
+	New(2)
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("1101")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Len() != 4 || s.Bit(0) != 1 || s.Bit(2) != 0 {
+		t.Errorf("Parse(1101) = %v", s)
+	}
+	if _, err := Parse("10x1"); err == nil {
+		t.Error("Parse(10x1) succeeded, want error")
+	}
+}
+
+func TestFromUintRoundtrip(t *testing.T) {
+	tests := []struct {
+		v     uint64
+		width int
+		want  string
+	}{
+		{0, 0, ""},
+		{0, 3, "000"},
+		{5, 3, "101"},
+		{6, 4, "0110"},
+		{255, 8, "11111111"},
+	}
+	for _, tt := range tests {
+		s := FromUint(tt.v, tt.width)
+		if s.String() != tt.want {
+			t.Errorf("FromUint(%d,%d) = %q, want %q", tt.v, tt.width, s, tt.want)
+		}
+		if got := s.Uint(); got != tt.v {
+			t.Errorf("FromUint(%d,%d).Uint() = %d", tt.v, tt.width, got)
+		}
+	}
+}
+
+func TestFromUintPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromUint(8, 3) did not panic")
+		}
+	}()
+	FromUint(8, 3)
+}
+
+func TestAppendDoesNotAliasOriginal(t *testing.T) {
+	s := New(1, 0)
+	u := s.Append(1)
+	v := s.Append(0)
+	if u.String() != "101" || v.String() != "100" {
+		t.Errorf("aliasing: u=%v v=%v", u, v)
+	}
+	if s.String() != "10" {
+		t.Errorf("original mutated: %v", s)
+	}
+}
+
+func TestConcatSlice(t *testing.T) {
+	s := MustParse("110").Concat(MustParse("01"))
+	if s.String() != "11001" {
+		t.Fatalf("Concat = %v", s)
+	}
+	if got := s.Slice(1, 4).String(); got != "100" {
+		t.Errorf("Slice(1,4) = %q", got)
+	}
+}
+
+func TestOnes(t *testing.T) {
+	if got := MustParse("101101").Ones(); got != 4 {
+		t.Errorf("Ones = %d, want 4", got)
+	}
+	if got := New().Ones(); got != 0 {
+		t.Errorf("empty Ones = %d", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !MustParse("101").Equal(New(1, 0, 1)) {
+		t.Error("equal strings reported unequal")
+	}
+	if MustParse("101").Equal(MustParse("1010")) {
+		t.Error("different lengths reported equal")
+	}
+	if MustParse("101").Equal(MustParse("100")) {
+		t.Error("different bits reported equal")
+	}
+}
+
+func TestBitsCopy(t *testing.T) {
+	s := MustParse("10")
+	b := s.Bits()
+	b[0] = 0
+	if s.Bit(0) != 1 {
+		t.Error("Bits() exposed internal storage")
+	}
+}
+
+func TestMarkerEncodeKnown(t *testing.T) {
+	// Payload "01" => header + 110 + 1110 + 0.
+	got := MarkerEncode(MustParse("01")).String()
+	want := "11110110" + "110" + "1110" + "0"
+	if got != want {
+		t.Errorf("MarkerEncode(01) = %q, want %q", got, want)
+	}
+}
+
+func TestMarkerEncodeEmpty(t *testing.T) {
+	enc := MarkerEncode(String{})
+	payload, consumed, err := MarkerDecode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if payload.Len() != 0 || consumed != enc.Len() {
+		t.Errorf("empty roundtrip: payload=%v consumed=%d", payload, consumed)
+	}
+}
+
+func TestMarkerDecodeWithPadding(t *testing.T) {
+	enc := MarkerEncode(MustParse("101")).Append(0, 0, 0, 0)
+	payload, consumed, err := MarkerDecode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if payload.String() != "101" {
+		t.Errorf("payload = %v, want 101", payload)
+	}
+	if consumed != enc.Len()-4 {
+		t.Errorf("consumed = %d, want %d", consumed, enc.Len()-4)
+	}
+}
+
+func TestMarkerDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"too short", "111"},
+		{"bad header", "011101100"},
+		{"truncated payload", "11110110"},
+		{"run of one", "11110110" + "10" + "0"},
+		{"ends inside block", "11110110" + "11"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := MarkerDecode(MustParse(tt.in)); err == nil {
+				t.Errorf("MarkerDecode(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestMarkerHeaderUniqueInsideStream(t *testing.T) {
+	// No run of four 1s may appear after the header: FindHeader must return 0
+	// and must not find a second header later in the stream.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		payload := String{}
+		for i := 0; i < n; i++ {
+			payload = payload.Append(rng.Intn(2))
+		}
+		enc := MarkerEncode(payload)
+		if idx := FindHeader(enc); idx != 0 {
+			t.Fatalf("FindHeader = %d for payload %v", idx, payload)
+		}
+		if idx := FindHeader(enc.Slice(1, enc.Len())); idx != -1 {
+			t.Fatalf("second header found at %d for payload %v", idx+1, payload)
+		}
+	}
+}
+
+func TestMarkerRoundtripProperty(t *testing.T) {
+	f := func(raw []bool) bool {
+		payload := String{}
+		for _, b := range raw {
+			bit := 0
+			if b {
+				bit = 1
+			}
+			payload = payload.Append(bit)
+		}
+		enc := MarkerEncode(payload)
+		if enc.Len() > MarkerEncodedLen(payload.Len()) {
+			return false
+		}
+		dec, consumed, err := MarkerDecode(enc)
+		return err == nil && dec.Equal(payload) && consumed == enc.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintRoundtripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		s := FromUint(uint64(v), 32)
+		return s.Uint() == uint64(v) && s.Len() == 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

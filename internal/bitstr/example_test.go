@@ -1,0 +1,31 @@
+package bitstr_test
+
+import (
+	"fmt"
+
+	"localadvice/internal/bitstr"
+)
+
+// The self-delimiting marker code of Section 4: a header no payload can
+// imitate, block-coded bits, and a terminator.
+func ExampleMarkerEncode() {
+	payload := bitstr.MustParse("101")
+	encoded := bitstr.MarkerEncode(payload)
+	fmt.Println("encoded:", encoded)
+
+	decoded, consumed, err := bitstr.MarkerDecode(encoded)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("decoded:", decoded, "consumed:", consumed)
+	// Output:
+	// encoded: 11110110111011011100
+	// decoded: 101 consumed: 20
+}
+
+func ExampleFromUint() {
+	s := bitstr.FromUint(13, 6)
+	fmt.Println(s, "=", s.Uint())
+	// Output:
+	// 001101 = 13
+}

@@ -1,0 +1,51 @@
+package bitstr
+
+import "testing"
+
+// FuzzMarkerDecode feeds arbitrary bit strings to the marker decoder: it
+// must never panic, and whenever it succeeds, re-encoding the payload must
+// reproduce the consumed prefix.
+func FuzzMarkerDecode(f *testing.F) {
+	f.Add("11110110110111000")
+	f.Add("1111011000")
+	f.Add("")
+	f.Add("101010101")
+	f.Fuzz(func(t *testing.T, raw string) {
+		// Map arbitrary strings onto bits.
+		s := String{}
+		for _, r := range raw {
+			s = s.Append(int(r) & 1)
+		}
+		payload, consumed, err := MarkerDecode(s)
+		if err != nil {
+			return
+		}
+		if consumed > s.Len() {
+			t.Fatalf("consumed %d of %d bits", consumed, s.Len())
+		}
+		re := MarkerEncode(payload)
+		if !re.Equal(s.Slice(0, consumed)) {
+			t.Fatalf("re-encode mismatch: %v vs %v", re, s.Slice(0, consumed))
+		}
+	})
+}
+
+// FuzzRoundtrip checks encode-then-decode over arbitrary payloads.
+func FuzzRoundtrip(f *testing.F) {
+	f.Add("0110")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, raw string) {
+		payload := String{}
+		for _, r := range raw {
+			payload = payload.Append(int(r) & 1)
+		}
+		enc := MarkerEncode(payload)
+		dec, consumed, err := MarkerDecode(enc)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if consumed != enc.Len() || !dec.Equal(payload) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package bitstr
+
+import "fmt"
+
+// Header is the fixed pattern 11110110 that opens every marker-coded
+// payload, exactly as in Section 4 of the paper. The four leading 1s cannot
+// occur inside the block code (whose longest run of 1s is three), which is
+// what makes a decoded stream unambiguous.
+var Header = MustParse("11110110")
+
+// blockZero and blockOne are the per-bit blocks of the marker code:
+// a payload 0 becomes 110 and a payload 1 becomes 1110.
+var (
+	blockZero = MustParse("110")
+	blockOne  = MustParse("1110")
+)
+
+// MarkerEncode encodes payload with the paper's self-delimiting code:
+// Header · (110 | 1110)* · 0. The result starts with a run of four 1s and
+// contains no other run of four or more 1s, so a decoder can locate the
+// header even inside a longer stream of bits.
+func MarkerEncode(payload String) String {
+	out := String{bits: make([]byte, 0, Header.Len()+4*payload.Len()+1)}
+	out.bits = append(out.bits, Header.bits...)
+	for _, b := range payload.bits {
+		if b == 0 {
+			out.bits = append(out.bits, blockZero.bits...)
+		} else {
+			out.bits = append(out.bits, blockOne.bits...)
+		}
+	}
+	out.bits = append(out.bits, 0)
+	return out
+}
+
+// MarkerEncodedLen returns the length of MarkerEncode applied to a payload
+// of the given length, without allocating.
+func MarkerEncodedLen(payloadLen int) int {
+	// Header + worst-case 4 bits per payload bit + terminator; exact length
+	// depends on the payload, so callers wanting an exact figure should
+	// encode. This returns the worst case, used for capacity planning.
+	return Header.Len() + 4*payloadLen + 1
+}
+
+// MarkerDecode decodes a string produced by MarkerEncode, possibly followed
+// by trailing 0s (padding from unused path nodes). It returns the payload
+// and the number of bits of s that were consumed, excluding trailing
+// padding.
+func MarkerDecode(s String) (payload String, consumed int, err error) {
+	h := Header.Len()
+	if s.Len() < h+1 {
+		return String{}, 0, fmt.Errorf("bitstr: marker stream too short (%d bits)", s.Len())
+	}
+	if !s.Slice(0, h).Equal(Header) {
+		return String{}, 0, fmt.Errorf("bitstr: marker stream %q does not start with header", s)
+	}
+	i := h
+	payload = String{}
+	for {
+		if i >= s.Len() {
+			return String{}, 0, fmt.Errorf("bitstr: marker stream ended inside payload")
+		}
+		if s.Bit(i) == 0 {
+			// Terminator.
+			return payload, i + 1, nil
+		}
+		// Count the run of 1s: 110 => 0-bit, 1110 => 1-bit.
+		run := 0
+		for i < s.Len() && s.Bit(i) == 1 {
+			run++
+			i++
+		}
+		if i >= s.Len() {
+			return String{}, 0, fmt.Errorf("bitstr: marker stream ended inside a block")
+		}
+		i++ // consume the block-closing 0
+		switch run {
+		case 2:
+			payload = payload.Append(0)
+		case 3:
+			payload = payload.Append(1)
+		default:
+			return String{}, 0, fmt.Errorf("bitstr: invalid block run of %d ones at bit %d", run, i)
+		}
+	}
+}
+
+// FindHeader returns the index of the first occurrence of Header in s, or -1.
+func FindHeader(s String) int {
+	h := Header.Len()
+	for i := 0; i+h <= s.Len(); i++ {
+		if s.Slice(i, i+h).Equal(Header) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,211 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func TestClusterColoringStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	graphs := map[string]*graph.Graph{
+		"cycle60":  graph.Cycle(60),
+		"grid6x10": graph.Grid2D(6, 10),
+		"torus5x7": graph.Torus2D(5, 7),
+		"gnp":      graph.RandomGNP(50, 0.08, rng),
+		"tree":     graph.RandomTree(40, rng),
+	}
+	for name, g := range graphs {
+		graph.AssignPermutedIDs(g, rng)
+		stage := ClusterColoringStage{CoverRadius: 4}
+		va, err := stage.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sol, stats, err := stage.DecodeVar(g, va, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := lcl.Verify(UnboundedColoring{}, g, sol); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if stats.Rounds != stage.DecodeRadius() {
+			t.Errorf("%s: rounds %d, want %d", name, stats.Rounds, stage.DecodeRadius())
+		}
+	}
+}
+
+func TestClusterColoringSparsity(t *testing.T) {
+	g := graph.Cycle(300)
+	prev := -1
+	for _, cover := range []int{2, 6, 15} {
+		va, err := ClusterColoringStage{CoverRadius: cover}.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != -1 && len(va) >= prev {
+			t.Errorf("cover %d: %d holders, want fewer than %d", cover, len(va), prev)
+		}
+		prev = len(va)
+	}
+}
+
+func TestClusterColoringRejectsBadRadius(t *testing.T) {
+	if _, err := (ClusterColoringStage{}).EncodeVar(graph.Cycle(5), nil); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestReduceStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := graph.RandomGNP(40, 0.15, rng)
+	graph.AssignPermutedIDs(g, rng)
+	delta := g.MaxDegree()
+	// Oracle: the ID coloring (many colors).
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = int(g.ID(v))
+	}
+	oracle, err := lcl.ColoringSolution(g, colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skipLinial := range []bool{false, true} {
+		stage := ReduceStage{Delta: delta, SkipLinial: skipLinial}
+		sol, stats, err := stage.DecodeVar(g, core.VarAdvice{}, []*lcl.Solution{oracle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lcl.Verify(lcl.Coloring{K: delta + 1}, g, sol); err != nil {
+			t.Errorf("skipLinial=%v: %v", skipLinial, err)
+		}
+		if stats.Rounds < 1 {
+			t.Errorf("skipLinial=%v: no rounds", skipLinial)
+		}
+	}
+}
+
+func TestReduceStageNeedsOracle(t *testing.T) {
+	if _, _, err := (ReduceStage{Delta: 3}).DecodeVar(graph.Cycle(4), core.VarAdvice{}, nil); err == nil {
+		t.Error("missing oracle accepted")
+	}
+}
+
+// deltaColorableGraph returns a Δ-regular-ish Δ-colorable graph with slack
+// (chromatic number below Δ), the family Theorem 6.1 targets.
+func deltaColorableGraph(t *testing.T, rng *rand.Rand) (*graph.Graph, int) {
+	t.Helper()
+	g, _ := graph.RandomColorable(45, 4, 0.25, rng)
+	graph.AssignPermutedIDs(g, rng)
+	delta := g.MaxDegree()
+	if delta < 5 {
+		t.Skip("generated graph too sparse for the test")
+	}
+	return g, delta
+}
+
+func TestShiftStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 5; trial++ {
+		g, delta := deltaColorableGraph(t, rng)
+		// Build a (Δ+1)-coloring oracle with greedy.
+		colors := lcl.GreedyColoring(g)
+		oracle, err := lcl.ColoringSolution(g, colors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stage := ShiftStage{Delta: delta}
+		va, err := stage.EncodeVar(g, []*lcl.Solution{oracle})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, stats, err := stage.DecodeVar(g, va, []*lcl.Solution{oracle})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := lcl.Verify(lcl.Coloring{K: delta}, g, sol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.Rounds != 2 {
+			t.Errorf("rounds = %d, want 2", stats.Rounds)
+		}
+	}
+}
+
+func TestShiftStageNoUncolored(t *testing.T) {
+	// Already Δ-colored: no advice needed, identity output.
+	g := graph.Cycle(8)
+	colors := []int{1, 2, 1, 2, 1, 2, 1, 2}
+	oracle, err := lcl.ColoringSolution(g, colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := ShiftStage{Delta: 2}
+	va, err := stage.EncodeVar(g, []*lcl.Solution{oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(va) != 0 {
+		t.Errorf("advice for already-solved instance: %v", va)
+	}
+	sol, _, err := stage.DecodeVar(g, va, []*lcl.Solution{oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range colors {
+		if sol.Node[v] != colors[v] {
+			t.Error("coloring changed")
+		}
+	}
+}
+
+func TestShiftStageNeedsOracle(t *testing.T) {
+	if _, err := (ShiftStage{Delta: 3}).EncodeVar(graph.Cycle(4), nil); err == nil {
+		t.Error("missing oracle accepted in encode")
+	}
+	if _, _, err := (ShiftStage{Delta: 3}).DecodeVar(graph.Cycle(4), core.VarAdvice{}, nil); err == nil {
+		t.Error("missing oracle accepted in decode")
+	}
+}
+
+func TestDeltaPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 3; trial++ {
+		g, delta := deltaColorableGraph(t, rng)
+		p := NewDeltaPipeline(delta, 4)
+		va, err := p.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, stats, err := p.DecodeVar(g, va, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := lcl.Verify(lcl.Coloring{K: delta}, g, sol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.Rounds <= 0 {
+			t.Error("no rounds accounted")
+		}
+	}
+}
+
+func TestDeltaPipelineOnTorus(t *testing.T) {
+	// Torus: 4-regular, 3-chromatic, so 4-coloring has slack.
+	g := graph.Torus2D(6, 8)
+	p := NewDeltaPipeline(4, 4)
+	va, err := p.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := p.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 4}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package coloring implements the vertex-coloring results of the paper:
+// the Δ-coloring advice schema of Section 6 (cluster coloring with advice,
+// color reduction to Δ+1, and the advice-guided Δ+1 → Δ recoloring) and the
+// 3-coloring schema of Section 7, together with the classic no-advice color
+// reduction subroutines they build on (Linial's cover-free-family reduction
+// and color-class scheduling).
+package coloring
+
+import (
+	"fmt"
+
+	"localadvice/internal/graph"
+)
+
+// ReduceToDeltaPlus1 reduces any proper coloring to a proper (Δ+1)-coloring
+// by color-class scheduling: classes Δ+2, Δ+3, ... act in descending order,
+// each node picking the smallest color in {1..Δ+1} unused by its neighbors'
+// current colors. Two nodes of the same class are never adjacent, so a
+// class can act in a single round. Returns the new coloring and the number
+// of rounds (= maxColor - (Δ+1), or 0).
+//
+// This replaces the paper's O(√(Δ log Δ))-round list-coloring subroutine
+// (Fraigniaud et al. / Barenboim et al. / Maus–Tonoyan): the round count is
+// O(maxColor) instead, but remains a function of Δ alone whenever the input
+// coloring has f(Δ) colors, which is all Section 6 needs.
+func ReduceToDeltaPlus1(g *graph.Graph, colors []int) ([]int, int, error) {
+	if err := CheckProper(g, colors); err != nil {
+		return nil, 0, err
+	}
+	delta := g.MaxDegree()
+	out := append([]int(nil), colors...)
+	maxColor := 0
+	for _, c := range out {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	rounds := 0
+	for class := maxColor; class > delta+1; class-- {
+		for v := 0; v < g.N(); v++ {
+			if out[v] != class {
+				continue
+			}
+			used := make(map[int]bool, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				used[out[w]] = true
+			}
+			picked := 0
+			for c := 1; c <= delta+1; c++ {
+				if !used[c] {
+					picked = c
+					break
+				}
+			}
+			if picked == 0 {
+				return nil, 0, fmt.Errorf("coloring: node %d found no free color in 1..%d", v, delta+1)
+			}
+			out[v] = picked
+		}
+		rounds++
+	}
+	return out, rounds, nil
+}
+
+// CheckProper verifies that colors is a proper coloring with positive labels.
+func CheckProper(g *graph.Graph, colors []int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("coloring: %d colors for %d nodes", len(colors), g.N())
+	}
+	for v, c := range colors {
+		if c < 1 {
+			return fmt.Errorf("coloring: node %d has non-positive color %d", v, c)
+		}
+		for _, w := range g.Neighbors(v) {
+			if colors[w] == c {
+				return fmt.Errorf("coloring: adjacent nodes %d and %d share color %d", v, w, c)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxColor returns the largest color value used.
+func MaxColor(colors []int) int {
+	m := 0
+	for _, c := range colors {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// LinialReduce performs one round of Linial's color reduction: from a proper
+// coloring with colors in {1..c} to a proper coloring with at most q² colors
+// where q is the smallest prime with q > degree·⌈log_q c⌉ ... chosen so that
+// the polynomial cover-free family over GF(q) works. Each node interprets
+// its color as a polynomial of degree k over GF(q) and picks a point of its
+// polynomial's graph not covered by any neighbor's polynomial; distinct
+// polynomials of degree k intersect in at most k points, so with q > kΔ a
+// free point always exists. One LOCAL round.
+func LinialReduce(g *graph.Graph, colors []int) ([]int, error) {
+	if err := CheckProper(g, colors); err != nil {
+		return nil, err
+	}
+	c := MaxColor(colors)
+	delta := g.MaxDegree()
+	if delta == 0 {
+		return append([]int(nil), colors...), nil
+	}
+	q, k := linialParams(c, delta)
+	out := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		// Polynomial coefficients of (color-1) in base q, degree <= k.
+		pv := digits(colors[v]-1, q, k+1)
+		// Find x in GF(q) such that (x, pv(x)) differs from every
+		// neighbor's polynomial value at x.
+		found := false
+		for x := 0; x < q && !found; x++ {
+			yv := evalPoly(pv, x, q)
+			ok := true
+			for _, w := range g.Neighbors(v) {
+				pw := digits(colors[w]-1, q, k+1)
+				if evalPoly(pw, x, q) == yv {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[v] = 1 + x*q + yv
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("coloring: linial reduction found no free point at node %d (q=%d, k=%d)", v, q, k)
+		}
+	}
+	return out, nil
+}
+
+// LinialReduceToQuadratic iterates LinialReduce until the color count stops
+// shrinking, returning the final coloring and the number of rounds. On any
+// input with f(Δ) colors this converges to O(Δ²) colors in O(log* f(Δ))
+// rounds.
+func LinialReduceToQuadratic(g *graph.Graph, colors []int) ([]int, int, error) {
+	cur := append([]int(nil), colors...)
+	rounds := 0
+	for {
+		next, err := LinialReduce(g, cur)
+		if err != nil {
+			return nil, rounds, err
+		}
+		if MaxColor(next) >= MaxColor(cur) {
+			return cur, rounds, nil
+		}
+		cur = next
+		rounds++
+	}
+}
+
+// linialParams picks the polynomial degree k and prime field size q for
+// reducing c colors on a max-degree-delta graph: the smallest k >= 1 and
+// prime q with q > k*delta and q^(k+1) >= c.
+func linialParams(c, delta int) (q, k int) {
+	for k = 1; ; k++ {
+		q = nextPrime(k*delta + 1)
+		// Does q^(k+1) cover c?
+		pow := 1
+		covers := false
+		for i := 0; i <= k; i++ {
+			pow *= q
+			if pow >= c {
+				covers = true
+				break
+			}
+		}
+		if covers {
+			return q, k
+		}
+	}
+}
+
+// digits returns the base-q digits of x, least significant first, padded to
+// width entries.
+func digits(x, q, width int) []int {
+	out := make([]int, width)
+	for i := 0; i < width; i++ {
+		out[i] = x % q
+		x /= q
+	}
+	return out
+}
+
+// evalPoly evaluates a polynomial given by coefficients (constant term
+// first) at x over GF(q) (q prime).
+func evalPoly(coeffs []int, x, q int) int {
+	y := 0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = (y*x + coeffs[i]) % q
+	}
+	return y
+}
+
+// nextPrime returns the smallest prime >= n (n >= 2 assumed small).
+func nextPrime(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	for {
+		if isPrime(n) {
+			return n
+		}
+		n++
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

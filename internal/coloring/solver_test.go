@@ -1,0 +1,142 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func TestSolveKColoringKnownChromaticNumbers(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		chi  int // chromatic number
+	}{
+		{"K4", graph.Complete(4), 4},
+		{"K5", graph.Complete(5), 5},
+		{"C5", graph.Cycle(5), 3},
+		{"C6", graph.Cycle(6), 2},
+		{"petersen-free grid", graph.Grid2D(4, 4), 2},
+		{"star", graph.Star(6), 2},
+		{"path1", graph.Path(1), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			// chi colors succeed; chi-1 fail.
+			colors, ok := SolveKColoring(tt.g, tt.chi)
+			if !ok {
+				t.Fatalf("not %d-colorable", tt.chi)
+			}
+			if err := CheckProper(tt.g, colors); err != nil {
+				t.Fatal(err)
+			}
+			if MaxColor(colors) > tt.chi {
+				t.Errorf("used %d colors", MaxColor(colors))
+			}
+			if tt.chi > 1 {
+				if _, ok := SolveKColoring(tt.g, tt.chi-1); ok {
+					t.Errorf("%d-coloring found below the chromatic number", tt.chi-1)
+				}
+			}
+		})
+	}
+}
+
+func TestSolveKColoringAgreesWithPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 10; trial++ {
+		k := 3 + trial%2
+		g, _ := graph.RandomColorable(50, k, 0.15, rng)
+		colors, ok := SolveKColoring(g, k)
+		if !ok {
+			t.Fatalf("planted %d-colorable graph unsolved", k)
+		}
+		if err := CheckProper(g, colors); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSolveKColoringEmptyAndIsolated(t *testing.T) {
+	g := graph.New(5) // no edges
+	colors, ok := SolveKColoring(g, 1)
+	if !ok {
+		t.Fatal("edgeless graph not 1-colorable")
+	}
+	for _, c := range colors {
+		if c != 1 {
+			t.Errorf("color %d on an edgeless graph", c)
+		}
+	}
+}
+
+func TestGreedifyIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, planted := graph.RandomColorable(25, 3, 0.2, rng)
+		once := Greedify(g, planted)
+		twice := Greedify(g, once)
+		for v := range once {
+			if once[v] != twice[v] {
+				return false
+			}
+		}
+		return IsGreedy(g, once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnboundedColoringChecks(t *testing.T) {
+	g := graph.Path(3)
+	p := UnboundedColoring{}
+	sol := newNodeSolution(g, []int{1, 7, 1})
+	for v := 0; v < 3; v++ {
+		if err := p.CheckNode(g, v, sol); err != nil {
+			t.Errorf("proper unbounded coloring rejected at %d: %v", v, err)
+		}
+	}
+	bad := newNodeSolution(g, []int{1, 1, 2})
+	if err := p.CheckNode(g, 0, bad); err == nil {
+		t.Error("clash accepted")
+	}
+	zero := newNodeSolution(g, []int{0, 1, 2})
+	if err := p.CheckNode(g, 0, zero); err == nil {
+		t.Error("non-positive color accepted")
+	}
+	if p.NodeAlphabet() != nil || p.EdgeAlphabet() != nil {
+		t.Error("unbounded coloring should declare no finite alphabet")
+	}
+}
+
+func TestLinialParamsSanity(t *testing.T) {
+	for _, tc := range []struct{ c, delta int }{{100, 4}, {1000000, 4}, {50, 10}, {2, 1}} {
+		q, k := linialParams(tc.c, tc.delta)
+		if q <= k*tc.delta {
+			t.Errorf("c=%d Δ=%d: q=%d not above kΔ=%d", tc.c, tc.delta, q, k*tc.delta)
+		}
+		pow := 1
+		covers := false
+		for i := 0; i <= k; i++ {
+			pow *= q
+			if pow >= tc.c {
+				covers = true
+				break
+			}
+		}
+		if !covers {
+			t.Errorf("c=%d Δ=%d: q^(k+1) does not cover the colors", tc.c, tc.delta)
+		}
+	}
+}
+
+// newNodeSolution builds a Solution with the given node labels.
+func newNodeSolution(g *graph.Graph, labels []int) *lcl.Solution {
+	sol := lcl.NewSolution(g)
+	copy(sol.Node, labels)
+	return sol
+}

@@ -1,0 +1,131 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func TestSpacedPartialColoringCheck(t *testing.T) {
+	g := graph.Path(8)
+	p := SpacedPartialColoring{Delta: 2, Spacing: 3}
+	sol := lcl.NewSolution(g)
+	copy(sol.Node, []int{3, 1, 2, 1, 3, 1, 2, 1})
+	// Uncolored (=3) at nodes 0 and 4: distance 4 > 3.
+	if err := lcl.Verify(p, g, sol); err != nil {
+		t.Errorf("valid spaced partial coloring rejected: %v", err)
+	}
+	copy(sol.Node, []int{3, 1, 2, 3, 1, 2, 1, 2})
+	// Uncolored at 0 and 3: distance 3 <= 3.
+	if err := lcl.Verify(p, g, sol); err == nil {
+		t.Error("under-spaced holes accepted")
+	}
+	copy(sol.Node, []int{1, 1, 2, 1, 2, 1, 2, 1})
+	if err := lcl.Verify(p, g, sol); err == nil {
+		t.Error("improper colors accepted")
+	}
+}
+
+func TestSpreadStageAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 4; trial++ {
+		g, delta := deltaColorableGraph(t, rng)
+		colors := lcl.GreedyColoring(g)
+		oracle, err := lcl.ColoringSolution(g, colors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stage := SpreadStage{Delta: delta, Spacing: 4}
+		va, err := stage.EncodeVar(g, []*lcl.Solution{oracle})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, _, err := stage.DecodeVar(g, va, []*lcl.Solution{oracle})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := lcl.Verify(stage.Problem(), g, sol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSpreadStageNeedsOracle(t *testing.T) {
+	if _, err := (SpreadStage{Delta: 3, Spacing: 2}).EncodeVar(graph.Cycle(5), nil); err == nil {
+		t.Error("missing oracle accepted")
+	}
+	oracle, err := lcl.ColoringSolution(graph.Cycle(4), []int{1, 2, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (SpreadStage{Delta: 2, Spacing: 0}).EncodeVar(graph.Cycle(4), []*lcl.Solution{oracle}); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestDeltaPipelineSplitEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	for trial := 0; trial < 3; trial++ {
+		g, delta := deltaColorableGraph(t, rng)
+		p := NewDeltaPipelineSplit(delta, 4, 4)
+		va, err := p.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, stats, err := p.DecodeVar(g, va, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := lcl.Verify(lcl.Coloring{K: delta}, g, sol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.Rounds <= 0 {
+			t.Error("no rounds accounted")
+		}
+	}
+}
+
+func TestDeltaPipelineSplitOnTorus(t *testing.T) {
+	g := graph.Torus2D(6, 8)
+	p := NewDeltaPipelineSplit(4, 4, 5)
+	va, err := p.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := p.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 4}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoAdviceColoringBaseline(t *testing.T) {
+	g := graph.Cycle(100)
+	sol, stats, err := NoAdviceColoring(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != g.Diameter() {
+		t.Errorf("rounds = %d, want diameter %d", stats.Rounds, g.Diameter())
+	}
+	// Unsolvable instance errors.
+	if _, _, err := NoAdviceColoring(graph.Complete(4), 3); err == nil {
+		t.Error("K4 3-colored by the baseline")
+	}
+	// Multiple components: rounds are the max component diameter.
+	u := graph.DisjointUnion(graph.Cycle(60), graph.Path(10))
+	_, st, err := NoAdviceColoring(u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 30 {
+		t.Errorf("rounds = %d, want 30", st.Rounds)
+	}
+}

@@ -1,0 +1,147 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func threeColorableGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	planted, _ := graph.RandomColorable(50, 3, 0.12, rng)
+	graph.AssignPermutedIDs(planted, rng)
+	return map[string]*graph.Graph{
+		"cycle5":    graph.Cycle(5),   // odd, small
+		"cycle64":   graph.Cycle(64),  // even, large: one big 2,3-component
+		"cycle101":  graph.Cycle(101), // odd, large
+		"grid7x9":   graph.Grid2D(7, 9),
+		"torus6x9":  graph.Torus2D(6, 9),
+		"planted":   planted,
+		"tree":      graph.RandomTree(60, rng),
+		"smallgrid": graph.Grid2D(3, 3),
+		"twoComps":  graph.DisjointUnion(graph.Cycle(40), graph.Grid2D(4, 4)),
+	}
+}
+
+func TestThreeColoringEndToEnd(t *testing.T) {
+	schema := NewThreeColoring()
+	for name, g := range threeColorableGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			advice, err := schema.Encode(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Exactly one bit per node (the headline of Theorem 7.1).
+			if kind, beta := core.Classify(advice); kind != core.UniformFixedLength || beta != 1 {
+				t.Errorf("advice is %v/%d, want uniform 1-bit", kind, beta)
+			}
+			sol, stats, err := schema.Decode(g, advice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+				t.Fatal(err)
+			}
+			if stats.Rounds != schema.DecodeRadius() {
+				t.Errorf("rounds = %d, want %d", stats.Rounds, schema.DecodeRadius())
+			}
+		})
+	}
+}
+
+func TestThreeColoringRejectsNonColorable(t *testing.T) {
+	if _, err := NewThreeColoring().Encode(graph.Complete(4)); err == nil {
+		t.Error("K4 accepted")
+	}
+}
+
+func TestThreeColoringRejectsBadParams(t *testing.T) {
+	bad := ThreeColoring{CoverRadius: 3, GroupSpread: 3}
+	if _, err := bad.Encode(graph.Cycle(5)); err == nil {
+		t.Error("cover radius below 4*spread+2 accepted")
+	}
+	bad2 := ThreeColoring{CoverRadius: 20, GroupSpread: 1}
+	if _, err := bad2.Encode(graph.Cycle(5)); err == nil {
+		t.Error("tiny spread accepted")
+	}
+}
+
+func TestThreeColoringDecodeChecksAdviceShape(t *testing.T) {
+	g := graph.Cycle(10)
+	schema := NewThreeColoring()
+	advice, err := schema.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice[3] = advice[3].Append(1) // two bits: malformed
+	if _, _, err := schema.Decode(g, advice); err == nil {
+		t.Error("two-bit advice accepted")
+	}
+}
+
+func TestThreeColoringAdviceNotSparse(t *testing.T) {
+	// Section 7: the 3-coloring advice genuinely needs ~one bit per node —
+	// the ones ratio is bounded below by the color-1 class density, unlike
+	// the sparse schemas.
+	g := graph.Cycle(120)
+	schema := NewThreeColoring()
+	advice, err := schema.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := core.Sparsity(advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 0.2 {
+		t.Errorf("ones ratio %v unexpectedly sparse for a cycle", ratio)
+	}
+}
+
+func TestThreeColoringMatchesPhiOnLargeComponents(t *testing.T) {
+	// On an even cycle (one large 2,3-component after removing color 1),
+	// decoding must produce a valid coloring where color-1 nodes are
+	// exactly the encoder's color-1 class.
+	g := graph.Cycle(80)
+	schema := NewThreeColoring()
+	advice, err := schema.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := schema.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count colors; a proper 3-coloring of a cycle uses >= 2 colors.
+	seen := map[int]bool{}
+	for _, c := range sol.Node {
+		seen[c] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d colors used", len(seen))
+	}
+}
+
+func TestThreeColoringRandomPlantedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	schema := NewThreeColoring()
+	for trial := 0; trial < 8; trial++ {
+		g, _ := graph.RandomColorable(35, 3, 0.1+0.05*float64(trial%3), rng)
+		graph.AssignPermutedIDs(g, rng)
+		advice, err := schema.Encode(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, _, err := schema.Decode(g, advice)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

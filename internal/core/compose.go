@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// VarSchema is a variable-length advice schema stage that may consume the
+// solutions of earlier stages as oracles — the "schema for Π₂ assuming an
+// oracle for Π₁" of the composability framework (Section 1.8). A stage with
+// no oracle needs ignores the slice.
+type VarSchema interface {
+	// Name identifies the stage.
+	Name() string
+	// Problem is the problem this stage solves.
+	Problem() lcl.Problem
+	// EncodeVar computes sparse advice for g given the offline solutions of
+	// all earlier stages, in pipeline order.
+	EncodeVar(g *graph.Graph, oracles []*lcl.Solution) (VarAdvice, error)
+	// DecodeVar reconstructs this stage's solution from its advice and the
+	// already-decoded earlier solutions.
+	DecodeVar(g *graph.Graph, va VarAdvice, oracles []*lcl.Solution) (*lcl.Solution, local.Stats, error)
+}
+
+// tagBits is the width of the stage index written in front of each merged
+// payload entry; 8 bits bounds pipelines at 256 stages, far beyond any use.
+const tagBits = 8
+
+// Pipeline is Lemma 1 in executable form: it composes variable-length
+// schema stages into a single variable-length schema. Stage i's advice is
+// computed against the offline solutions of stages 0..i-1; on the decoding
+// side, stages run in order, each feeding its decoded solution to the next.
+//
+// Advice merging: a node holding payloads from several stages stores the
+// concatenation of marker-coded (stageIndex ++ payload) entries. The marker
+// code is self-delimiting, so the decoder can split and demultiplex without
+// any out-of-band lengths. The composed schema solves the last stage's
+// problem.
+type Pipeline struct {
+	PipelineName string
+	Stages       []VarSchema
+}
+
+var _ VarSchema = (*Pipeline)(nil)
+
+// Name implements VarSchema.
+func (p *Pipeline) Name() string { return p.PipelineName }
+
+// Problem implements VarSchema: the pipeline solves its final stage's
+// problem.
+func (p *Pipeline) Problem() lcl.Problem { return p.Stages[len(p.Stages)-1].Problem() }
+
+// EncodeVar implements VarSchema.
+func (p *Pipeline) EncodeVar(g *graph.Graph, oracles []*lcl.Solution) (VarAdvice, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("core: empty pipeline")
+	}
+	merged := make(VarAdvice)
+	sols := append([]*lcl.Solution(nil), oracles...)
+	for i, stage := range p.Stages {
+		va, err := stage.EncodeVar(g, sols)
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline stage %d (%s) encode: %w", i, stage.Name(), err)
+		}
+		for v, payload := range va {
+			merged[v] = AppendTagged(merged[v], i, payload)
+		}
+		// Reconstruct this stage's offline solution for the next stage by
+		// decoding — the prover is centralized, and using the decoded
+		// solution (rather than a separately computed one) guarantees
+		// encoder and decoder agree on the oracle handed downstream.
+		sol, _, err := stage.DecodeVar(g, va, sols)
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline stage %d (%s) prover decode: %w", i, stage.Name(), err)
+		}
+		sols = append(sols, sol)
+	}
+	return merged, nil
+}
+
+// DecodeVar implements VarSchema.
+func (p *Pipeline) DecodeVar(g *graph.Graph, merged VarAdvice, oracles []*lcl.Solution) (*lcl.Solution, local.Stats, error) {
+	perStage, err := splitMerged(merged, len(p.Stages))
+	if err != nil {
+		return nil, local.Stats{}, err
+	}
+	sols := append([]*lcl.Solution(nil), oracles...)
+	var total local.Stats
+	var last *lcl.Solution
+	for i, stage := range p.Stages {
+		sol, stats, err := stage.DecodeVar(g, perStage[i], sols)
+		if err != nil {
+			return nil, total, fmt.Errorf("core: pipeline stage %d (%s) decode: %w", i, stage.Name(), err)
+		}
+		total.Rounds += stats.Rounds
+		total.Messages += stats.Messages
+		sols = append(sols, sol)
+		last = sol
+	}
+	return last, total, nil
+}
+
+// AppendTagged appends a self-delimiting (tag, entry) record to a node's
+// merged payload. Tags must fit in tagBits bits; SplitTagged reverses the
+// operation. This is the wire format Lemma 1 composition uses, exposed so
+// that recursive composites (e.g. the Δ-edge-coloring tree of Section 5)
+// can reuse it.
+func AppendTagged(payload bitstr.String, tag int, entry bitstr.String) bitstr.String {
+	return payload.Concat(bitstr.MarkerEncode(bitstr.FromUint(uint64(tag), tagBits).Concat(entry)))
+}
+
+// SplitTagged splits a merged payload back into its (tag, entry) records.
+// Tags must be < numTags; a node may hold at most one entry per tag.
+func SplitTagged(s bitstr.String, numTags int) (map[int]bitstr.String, error) {
+	out := make(map[int]bitstr.String)
+	offset := 0
+	for offset < s.Len() {
+		rest := s.Slice(offset, s.Len())
+		payload, consumed, err := bitstr.MarkerDecode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("core: merged payload corrupt at bit %d: %w", offset, err)
+		}
+		if payload.Len() < tagBits {
+			return nil, fmt.Errorf("core: merged entry shorter than tag")
+		}
+		tag := int(payload.Slice(0, tagBits).Uint())
+		if tag < 0 || tag >= numTags {
+			return nil, fmt.Errorf("core: entry tagged %d of %d", tag, numTags)
+		}
+		if _, dup := out[tag]; dup {
+			return nil, fmt.Errorf("core: two entries for tag %d", tag)
+		}
+		out[tag] = payload.Slice(tagBits, payload.Len())
+		offset += consumed
+	}
+	return out, nil
+}
+
+// splitMerged demultiplexes merged node payloads into per-stage sparse
+// assignments.
+func splitMerged(merged VarAdvice, stages int) ([]VarAdvice, error) {
+	perStage := make([]VarAdvice, stages)
+	for i := range perStage {
+		perStage[i] = make(VarAdvice)
+	}
+	for v, s := range merged {
+		entries, err := SplitTagged(s, stages)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", v, err)
+		}
+		for tag, entry := range entries {
+			perStage[tag][v] = entry
+		}
+	}
+	return perStage, nil
+}
+
+// schemaAdapter turns a VarSchema into a full Schema (Definition 2) by
+// fixing the advice representation: either the sparse assignment shipped
+// densely (variable-length schema) or, when OneBit is non-nil, the Lemma 2
+// one-bit-per-node conversion.
+type schemaAdapter struct {
+	vs     VarSchema
+	oneBit *OneBitCodec
+}
+
+// AsSchema exposes vs as a variable-length Schema.
+func AsSchema(vs VarSchema) Schema { return &schemaAdapter{vs: vs} }
+
+// AsOneBitSchema exposes vs as a uniform one-bit-per-node Schema via the
+// given codec. Encoding fails if vs's holders violate the codec's spacing
+// or capacity requirements.
+func AsOneBitSchema(vs VarSchema, codec OneBitCodec) Schema {
+	return &schemaAdapter{vs: vs, oneBit: &codec}
+}
+
+func (a *schemaAdapter) Name() string {
+	if a.oneBit != nil {
+		return a.vs.Name() + "+1bit"
+	}
+	return a.vs.Name()
+}
+
+func (a *schemaAdapter) Problem() lcl.Problem { return a.vs.Problem() }
+
+func (a *schemaAdapter) Encode(g *graph.Graph) (local.Advice, error) {
+	va, err := a.vs.EncodeVar(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	if a.oneBit == nil {
+		return va.Dense(g.N()), nil
+	}
+	return a.oneBit.Encode(g, va)
+}
+
+func (a *schemaAdapter) Decode(g *graph.Graph, advice local.Advice) (*lcl.Solution, local.Stats, error) {
+	var va VarAdvice
+	var pre local.Stats
+	if a.oneBit == nil {
+		va = SparseFromDense(advice)
+	} else {
+		var err error
+		va, pre, err = a.oneBit.Decode(g, advice)
+		if err != nil {
+			return nil, pre, err
+		}
+	}
+	sol, stats, err := a.vs.DecodeVar(g, va, nil)
+	stats.Rounds += pre.Rounds
+	stats.Messages += pre.Messages
+	return sol, stats, err
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		adv  local.Advice
+		kind Kind
+		beta int
+	}{
+		{"uniform 1-bit", local.Advice{bitstr.New(1), bitstr.New(0)}, UniformFixedLength, 1},
+		{"uniform empty", local.Advice{{}, {}}, UniformFixedLength, 0},
+		{"subset fixed", local.Advice{bitstr.New(1, 0), {}, bitstr.New(0, 0)}, SubsetFixedLength, 2},
+		{"variable", local.Advice{bitstr.New(1), {}, bitstr.New(0, 0)}, VariableLength, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			kind, beta := Classify(tt.adv)
+			if kind != tt.kind || beta != tt.beta {
+				t.Errorf("Classify = (%v, %d), want (%v, %d)", kind, beta, tt.kind, tt.beta)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if UniformFixedLength.String() == "" || Kind(99).String() == "" {
+		t.Error("Kind.String empty")
+	}
+}
+
+func TestVarAdviceDenseRoundtrip(t *testing.T) {
+	va := VarAdvice{2: bitstr.New(1, 0), 5: bitstr.New(1)}
+	dense := va.Dense(8)
+	back := SparseFromDense(dense)
+	if !back.Equal(va) {
+		t.Errorf("roundtrip mismatch: %v vs %v", back, va)
+	}
+	if va.TotalBits() != 3 {
+		t.Errorf("TotalBits = %d", va.TotalBits())
+	}
+}
+
+func TestCheckComposable(t *testing.T) {
+	g := graph.Path(20)
+	va := VarAdvice{0: bitstr.New(1), 10: bitstr.New(1, 0)}
+	if err := CheckComposable(g, va, 4, 1, 2); err != nil {
+		t.Errorf("well-spaced assignment rejected: %v", err)
+	}
+	// Too many bits per holder.
+	if err := CheckComposable(g, va, 4, 1, 1); err == nil {
+		t.Error("over-long payload accepted")
+	}
+	// Holders too dense for gamma0=1 with a big alpha.
+	if err := CheckComposable(g, va, 10, 1, 5); err == nil {
+		t.Error("dense holders accepted")
+	}
+}
+
+func TestOneBitRoundtripOnFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	codec := OneBitCodec{Radius: 40}
+	families := map[string]struct {
+		g       *graph.Graph
+		holders []int
+	}{
+		"path200":    {graph.Path(200), []int{0, 199}},
+		"cycle240":   {graph.Cycle(240), []int{0, 120}},
+		"grid10x120": {graph.Grid2D(10, 120), []int{0, 1199}},
+	}
+	for name, tc := range families {
+		g, holders := tc.g, tc.holders
+		// Random payloads with length <= MaxPayloadBits.
+		va := make(VarAdvice)
+		for _, v := range holders {
+			payload := bitstr.String{}
+			plen := 1 + rng.Intn(codec.MaxPayloadBits())
+			for i := 0; i < plen; i++ {
+				payload = payload.Append(rng.Intn(2))
+			}
+			va[v] = payload
+		}
+		if g.Dist(holders[0], holders[1]) <= 2*codec.Radius+2 {
+			t.Fatalf("%s: test holders too close", name)
+		}
+		advice, err := codec.Encode(g, va)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if kind, beta := Classify(advice); kind != UniformFixedLength || beta != 1 {
+			t.Errorf("%s: advice is %v/%d, want uniform 1-bit", name, kind, beta)
+		}
+		decoded, stats, err := codec.Decode(g, advice)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !decoded.Equal(va) {
+			t.Errorf("%s: decode mismatch", name)
+		}
+		if stats.Rounds != codec.Radius {
+			t.Errorf("%s: rounds = %d, want %d", name, stats.Rounds, codec.Radius)
+		}
+	}
+}
+
+func TestOneBitEmptyPayload(t *testing.T) {
+	g := graph.Path(60)
+	codec := OneBitCodec{Radius: 12}
+	va := VarAdvice{0: {}}
+	advice, err := codec.Encode(g, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := codec.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Equal(va) {
+		t.Errorf("decoded %v", decoded)
+	}
+}
+
+func TestOneBitNoHolders(t *testing.T) {
+	g := graph.Cycle(10)
+	codec := OneBitCodec{Radius: 4 + bitstr.Header.Len() + 1}
+	advice, err := codec.Encode(g, VarAdvice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := codec.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 0 {
+		t.Errorf("phantom holders decoded: %v", decoded)
+	}
+}
+
+func TestOneBitRejectsCloseHolders(t *testing.T) {
+	g := graph.Path(100)
+	codec := OneBitCodec{Radius: 20}
+	va := VarAdvice{0: bitstr.New(1), 10: bitstr.New(0)}
+	if _, err := codec.Encode(g, va); err == nil {
+		t.Error("holders at distance 10 accepted with radius 20")
+	}
+}
+
+func TestOneBitRejectsLongPayload(t *testing.T) {
+	g := graph.Path(100)
+	codec := OneBitCodec{Radius: 15}
+	long := bitstr.String{}
+	for i := 0; i < 10; i++ {
+		long = long.Append(1)
+	}
+	if _, err := codec.Encode(g, VarAdvice{0: long}); err == nil {
+		t.Error("over-long payload accepted")
+	}
+}
+
+func TestOneBitRejectsTightGraph(t *testing.T) {
+	// The payload needs a geodesic longer than the graph's eccentricity.
+	g := graph.Path(5)
+	codec := OneBitCodec{Radius: 20}
+	payload := bitstr.New(1, 0, 1)
+	if _, err := codec.Encode(g, VarAdvice{2: payload}); err == nil {
+		t.Error("payload accepted without room for its path")
+	}
+}
+
+func TestOneBitRandomPayloadsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	codec := OneBitCodec{Radius: 30}
+	for trial := 0; trial < 25; trial++ {
+		g := graph.Cycle(150 + rng.Intn(100))
+		graph.AssignPermutedIDs(g, rng)
+		va := make(VarAdvice)
+		plen := rng.Intn(codec.MaxPayloadBits() + 1)
+		payload := bitstr.String{}
+		for i := 0; i < plen; i++ {
+			payload = payload.Append(rng.Intn(2))
+		}
+		va[rng.Intn(g.N())] = payload
+		advice, err := codec.Encode(g, va)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		decoded, _, err := codec.Decode(g, advice)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !decoded.Equal(va) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+// leaderProblem is a test LCL: exactly the max-ID node of each component is
+// labeled 1, everyone else 2. Radius-1 checkable only approximately; for
+// tests we use a loose local check (label-1 nodes have no label-1 neighbor).
+type leaderProblem struct{}
+
+func (leaderProblem) Name() string        { return "leader" }
+func (leaderProblem) Radius() int         { return 1 }
+func (leaderProblem) NodeAlphabet() []int { return []int{1, 2} }
+func (leaderProblem) EdgeAlphabet() []int { return nil }
+func (leaderProblem) CheckNode(g *graph.Graph, v int, sol *lcl.Solution) error {
+	return nil
+}
+
+// leaderStage marks the max-ID node with a 1-bit payload; decoding finds it
+// from the advice.
+type leaderStage struct{}
+
+func (leaderStage) Name() string         { return "leader" }
+func (leaderStage) Problem() lcl.Problem { return leaderProblem{} }
+
+func (leaderStage) EncodeVar(g *graph.Graph, _ []*lcl.Solution) (VarAdvice, error) {
+	best := 0
+	for v := 1; v < g.N(); v++ {
+		if g.ID(v) > g.ID(best) {
+			best = v
+		}
+	}
+	return VarAdvice{best: bitstr.New(1)}, nil
+}
+
+func (leaderStage) DecodeVar(g *graph.Graph, va VarAdvice, _ []*lcl.Solution) (*lcl.Solution, local.Stats, error) {
+	sol := lcl.NewSolution(g)
+	for v := range sol.Node {
+		sol.Node[v] = 2
+	}
+	for v := range va {
+		sol.Node[v] = 1
+	}
+	return sol, local.Stats{Rounds: 1}, nil
+}
+
+// parityStage 2-colors a connected bipartite graph using the leader from the
+// oracle stage as the anchor of color 1.
+type parityStage struct{}
+
+func (parityStage) Name() string         { return "parity" }
+func (parityStage) Problem() lcl.Problem { return lcl.Coloring{K: 2} }
+
+func (parityStage) EncodeVar(*graph.Graph, []*lcl.Solution) (VarAdvice, error) {
+	return VarAdvice{}, nil
+}
+
+func (parityStage) DecodeVar(g *graph.Graph, _ VarAdvice, oracles []*lcl.Solution) (*lcl.Solution, local.Stats, error) {
+	leader := -1
+	for v, l := range oracles[len(oracles)-1].Node {
+		if l == 1 {
+			leader = v
+			break
+		}
+	}
+	sol := lcl.NewSolution(g)
+	for v, d := range g.BFSFrom(leader) {
+		sol.Node[v] = 1 + d%2
+	}
+	return sol, local.Stats{Rounds: g.N()}, nil
+}
+
+func TestPipelineComposition(t *testing.T) {
+	g := graph.Cycle(16)
+	p := &Pipeline{PipelineName: "leader+parity", Stages: []VarSchema{leaderStage{}, parityStage{}}}
+	va, err := p.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(va) != 1 {
+		t.Fatalf("merged advice has %d holders, want 1", len(va))
+	}
+	sol, stats, err := p.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 2}, g, sol); err != nil {
+		t.Errorf("pipeline output invalid: %v", err)
+	}
+	if stats.Rounds <= 0 {
+		t.Error("no rounds accounted")
+	}
+}
+
+func TestPipelineAsOneBitSchema(t *testing.T) {
+	g := graph.Cycle(320)
+	p := &Pipeline{PipelineName: "leader+parity", Stages: []VarSchema{leaderStage{}, parityStage{}}}
+	s := AsOneBitSchema(p, OneBitCodec{Radius: 150})
+	sol, advice, _, err := RunAndVerify(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, beta := Classify(advice); kind != UniformFixedLength || beta != 1 {
+		t.Errorf("advice kind %v/%d", kind, beta)
+	}
+	if sol.Node[0] == lcl.Unset {
+		t.Error("solution incomplete")
+	}
+	ratio, err := Sparsity(advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio >= 0.5 {
+		t.Errorf("sparsity ratio %v out of expected range", ratio)
+	}
+}
+
+func TestPipelineAsVariableSchema(t *testing.T) {
+	g := graph.Cycle(12)
+	p := &Pipeline{PipelineName: "leader+parity", Stages: []VarSchema{leaderStage{}, parityStage{}}}
+	s := AsSchema(p)
+	if _, _, _, err := RunAndVerify(s, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineEmptyFails(t *testing.T) {
+	p := &Pipeline{PipelineName: "empty"}
+	if _, err := p.EncodeVar(graph.Path(3), nil); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}
+
+func TestSplitMergedMultiEntry(t *testing.T) {
+	// Two entries for different stages on the same node.
+	entry0 := bitstr.MarkerEncode(bitstr.FromUint(0, tagBits).Concat(bitstr.New(1)))
+	entry1 := bitstr.MarkerEncode(bitstr.FromUint(1, tagBits).Concat(bitstr.New(0, 1)))
+	merged := VarAdvice{3: entry0.Concat(entry1)}
+	per, err := splitMerged(merged, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !per[0][3].Equal(bitstr.New(1)) {
+		t.Errorf("stage 0 payload %v", per[0][3])
+	}
+	if !per[1][3].Equal(bitstr.New(0, 1)) {
+		t.Errorf("stage 1 payload %v", per[1][3])
+	}
+}
+
+func TestSplitMergedErrors(t *testing.T) {
+	// Stage index out of range.
+	entry := bitstr.MarkerEncode(bitstr.FromUint(7, tagBits))
+	if _, err := splitMerged(VarAdvice{0: entry}, 2); err == nil {
+		t.Error("bad stage tag accepted")
+	}
+	// Corrupt stream.
+	if _, err := splitMerged(VarAdvice{0: bitstr.New(1, 0, 1)}, 2); err == nil {
+		t.Error("corrupt merged payload accepted")
+	}
+	// Duplicate entries for one stage on one node.
+	dup := bitstr.MarkerEncode(bitstr.FromUint(0, tagBits))
+	if _, err := splitMerged(VarAdvice{0: dup.Concat(dup)}, 1); err == nil {
+		t.Error("duplicate entries accepted")
+	}
+}

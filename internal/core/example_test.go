@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+)
+
+// Lemma 2 in one picture: a 4-bit payload at one node of a cycle becomes a
+// uniform one-bit-per-node assignment and is recovered by a LOCAL decoder.
+func ExampleOneBitCodec() {
+	g := graph.Cycle(120)
+	codec := core.OneBitCodec{Radius: 30}
+	va := core.VarAdvice{7: bitstr.MustParse("1010")}
+
+	advice, err := codec.Encode(g, va)
+	if err != nil {
+		panic(err)
+	}
+	kind, beta := core.Classify(advice)
+	fmt.Println("advice:", kind, "with", beta, "bit per node")
+
+	decoded, stats, err := codec.Decode(g, advice)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered payload:", decoded[7], "in", stats.Rounds, "rounds")
+	// Output:
+	// advice: uniform fixed-length with 1 bit per node
+	// recovered payload: 1010 in 30 rounds
+}
+
+// Definition 2's taxonomy of advice assignments.
+func ExampleClassify() {
+	uniform := core.VarAdvice{0: bitstr.New(1), 1: bitstr.New(0)}.Dense(2)
+	subset := core.VarAdvice{0: bitstr.New(1, 1)}.Dense(3)
+	variable := core.VarAdvice{0: bitstr.New(1), 1: bitstr.New(1, 0)}.Dense(3)
+	k1, b1 := core.Classify(uniform)
+	k2, b2 := core.Classify(subset)
+	k3, b3 := core.Classify(variable)
+	fmt.Printf("%v (beta=%d)\n%v (beta=%d)\n%v (beta=%d)\n", k1, b1, k2, b2, k3, b3)
+	// Output:
+	// uniform fixed-length (beta=1)
+	// subset fixed-length (beta=2)
+	// variable-length (beta=2)
+}

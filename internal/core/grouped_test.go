@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+func TestGroupedRoundtripAdjacentHolders(t *testing.T) {
+	g := graph.Path(900)
+	codec := GroupedOneBitCodec{Radius: 180, GroupRadius: 2}
+	// Two groups far apart: an adjacent pair and a chain of three.
+	va := VarAdvice{
+		10:  bitstr.MustParse("1101"),
+		11:  bitstr.MustParse("0"),
+		700: bitstr.MustParse("11"),
+		701: bitstr.MustParse("00"),
+		702: bitstr.MustParse("101"),
+	}
+	advice, err := codec.Encode(g, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, beta := Classify(advice); kind != UniformFixedLength || beta != 1 {
+		t.Errorf("advice %v/%d, want uniform 1-bit", kind, beta)
+	}
+	decoded, stats, err := codec.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Equal(va) {
+		t.Fatalf("roundtrip mismatch: %v", decoded)
+	}
+	if stats.Rounds != codec.Radius {
+		t.Errorf("rounds = %d, want %d", stats.Rounds, codec.Radius)
+	}
+}
+
+func TestGroupedEmptyPayloads(t *testing.T) {
+	g := graph.Cycle(400)
+	codec := GroupedOneBitCodec{Radius: 110, GroupRadius: 2}
+	va := VarAdvice{5: {}, 6: bitstr.MustParse("1")}
+	advice, err := codec.Encode(g, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := codec.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Equal(va) {
+		t.Fatalf("roundtrip mismatch: %v", decoded)
+	}
+}
+
+func TestGroupedNoHolders(t *testing.T) {
+	g := graph.Cycle(50)
+	codec := GroupedOneBitCodec{Radius: 20, GroupRadius: 1}
+	advice, err := codec.Encode(g, VarAdvice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := codec.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 0 {
+		t.Errorf("phantom holders: %v", decoded)
+	}
+}
+
+func TestGroupedRejectsCloseRepresentatives(t *testing.T) {
+	g := graph.Path(200)
+	codec := GroupedOneBitCodec{Radius: 40, GroupRadius: 1}
+	// Two singleton groups at distance 30 < 2*Radius+2.
+	va := VarAdvice{0: bitstr.MustParse("1"), 30: bitstr.MustParse("0")}
+	if _, err := codec.Encode(g, va); err == nil {
+		t.Error("close representatives accepted")
+	}
+}
+
+func TestGroupedRejectsLongChains(t *testing.T) {
+	g := graph.Path(200)
+	codec := GroupedOneBitCodec{Radius: 60, GroupRadius: 1}
+	// A proximity chain stretching past the address radius (4).
+	va := VarAdvice{}
+	for v := 50; v <= 56; v++ {
+		va[v] = bitstr.MustParse("1")
+	}
+	if _, err := codec.Encode(g, va); err == nil {
+		t.Error("over-long proximity chain accepted")
+	}
+}
+
+func TestGroupedValidate(t *testing.T) {
+	if _, err := (GroupedOneBitCodec{Radius: 40}).Encode(graph.Path(10), VarAdvice{}); err == nil {
+		t.Error("zero group radius accepted")
+	}
+	if _, err := (GroupedOneBitCodec{Radius: 5, GroupRadius: 3}).Encode(graph.Path(10), VarAdvice{}); err == nil {
+		t.Error("radius below address ball accepted")
+	}
+}
+
+func TestGroupedRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	codec := GroupedOneBitCodec{Radius: 150, GroupRadius: 2}
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Cycle(1000)
+		// One cluster of 1-2 adjacent holders at a random location plus a
+		// singleton on the opposite side.
+		base := rng.Intn(100)
+		va := VarAdvice{}
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			payload := bitstr.String{}
+			for i := 0; i < rng.Intn(5); i++ {
+				payload = payload.Append(rng.Intn(2))
+			}
+			va[base+k] = payload
+		}
+		va[base+500] = bitstr.MustParse("10")
+		advice, err := codec.Encode(g, va)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		decoded, _, err := codec.Decode(g, advice)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !decoded.Equal(va) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}

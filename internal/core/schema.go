@@ -1,0 +1,200 @@
+// Package core implements the paper's central contribution: the framework of
+// advice schemas for local computation with advice.
+//
+// It provides
+//
+//   - advice schemas (Definition 2) as Encode/Decode pairs — a centralized
+//     prover labels the nodes, a LOCAL algorithm decodes a solution;
+//   - the three schema types of Definition 2 (uniform fixed-length, subset
+//     fixed-length, variable-length) and their classification;
+//   - sparsity accounting (Definition 3);
+//   - the composability conditions (Definition 4) and a checker for them;
+//   - generic schema composition (Lemma 1) via tagged payload merging;
+//   - the variable-length to uniform one-bit-per-node conversion (Lemma 2)
+//     using the paper's self-delimiting path encoding.
+package core
+
+import (
+	"fmt"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// Schema is a (𝒢, Π, β, T)-advice schema (Definition 2): Encode is the
+// centralized function f assigning bit strings to nodes; Decode is the LOCAL
+// algorithm 𝒜 that, given the advice, outputs a valid solution of the
+// problem within a number of rounds depending only on Δ (and the schema's
+// parameters).
+type Schema interface {
+	// Name identifies the schema in experiment tables.
+	Name() string
+	// Problem is the LCL (or LCL-style) problem the schema solves; decoded
+	// solutions are verified against it.
+	Problem() lcl.Problem
+	// Encode computes the advice for g. It fails if g is outside the
+	// schema's graph family (e.g., not Δ-colorable).
+	Encode(g *graph.Graph) (local.Advice, error)
+	// Decode runs the LOCAL decoding algorithm on g with the given advice.
+	Decode(g *graph.Graph, advice local.Advice) (*lcl.Solution, local.Stats, error)
+}
+
+// Kind is the schema type taxonomy of Definition 2.
+type Kind int
+
+const (
+	// UniformFixedLength: all nodes hold bit strings of the same length.
+	UniformFixedLength Kind = iota + 1
+	// SubsetFixedLength: a subset holds strings of one common length, the
+	// rest hold empty strings.
+	SubsetFixedLength
+	// VariableLength: holders may hold strings of different lengths.
+	VariableLength
+)
+
+// String renders the schema type for experiment tables.
+func (k Kind) String() string {
+	switch k {
+	case UniformFixedLength:
+		return "uniform fixed-length"
+	case SubsetFixedLength:
+		return "subset fixed-length"
+	case VariableLength:
+		return "variable-length"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Classify returns the narrowest Definition 2 type describing the advice
+// assignment, together with β = the maximum per-node length. Note that type
+// 1 is a special case of type 2, which is a special case of type 3; Classify
+// reports the most specific one.
+func Classify(advice local.Advice) (Kind, int) {
+	beta := advice.MaxBits()
+	uniform := true
+	subsetUniform := true
+	var holderLen = -1
+	for _, s := range advice {
+		if s.Len() != beta {
+			uniform = false
+		}
+		if s.Len() == 0 {
+			continue
+		}
+		if holderLen == -1 {
+			holderLen = s.Len()
+		} else if s.Len() != holderLen {
+			subsetUniform = false
+		}
+	}
+	switch {
+	case uniform:
+		return UniformFixedLength, beta
+	case subsetUniform:
+		return SubsetFixedLength, beta
+	default:
+		return VariableLength, beta
+	}
+}
+
+// Sparsity returns n1/(n0+n1) for one-bit-per-node advice (Definition 3).
+func Sparsity(advice local.Advice) (float64, error) {
+	return advice.OnesRatio()
+}
+
+// VarAdvice is a variable-length advice assignment in sparse form: only
+// bit-holding nodes appear, keyed by node index.
+type VarAdvice map[int]bitstr.String
+
+// Dense converts a sparse variable-length assignment into the dense Advice
+// slice used by the LOCAL engines.
+func (va VarAdvice) Dense(n int) local.Advice {
+	out := make(local.Advice, n)
+	for v, s := range va {
+		out[v] = s
+	}
+	return out
+}
+
+// SparseFromDense extracts the holders of a dense assignment.
+func SparseFromDense(advice local.Advice) VarAdvice {
+	out := make(VarAdvice)
+	for v, s := range advice {
+		if s.Len() > 0 {
+			out[v] = s
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sparse assignments are identical.
+func (va VarAdvice) Equal(other VarAdvice) bool {
+	if len(va) != len(other) {
+		return false
+	}
+	for v, s := range va {
+		if o, ok := other[v]; !ok || !o.Equal(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalBits returns the sum of payload lengths.
+func (va VarAdvice) TotalBits() int {
+	total := 0
+	for _, s := range va {
+		total += s.Len()
+	}
+	return total
+}
+
+// CheckComposable verifies the quantitative conditions of Definition 4 on a
+// concrete assignment: every α-radius neighborhood contains at most gamma0
+// bit-holding nodes, and every holder carries at most maxBits bits (the
+// cα/γ³ bound, computed by the caller from its parameters).
+func CheckComposable(g *graph.Graph, va VarAdvice, alpha, gamma0, maxBits int) error {
+	for v, s := range va {
+		if s.Len() > maxBits {
+			return fmt.Errorf("core: holder %d carries %d bits > bound %d", v, s.Len(), maxBits)
+		}
+		_ = v
+	}
+	holders := make([]bool, g.N())
+	for v := range va {
+		holders[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		count := 0
+		for _, u := range g.Ball(v, alpha) {
+			if holders[u] {
+				count++
+			}
+		}
+		if count > gamma0 {
+			return fmt.Errorf("core: %d holders within distance %d of node %d (bound %d)", count, alpha, v, gamma0)
+		}
+	}
+	return nil
+}
+
+// RunAndVerify encodes, decodes and verifies a schema on g, returning the
+// decoded solution, the advice, and the decoding stats. It is the standard
+// harness step shared by tests and experiments.
+func RunAndVerify(s Schema, g *graph.Graph) (*lcl.Solution, local.Advice, local.Stats, error) {
+	advice, err := s.Encode(g)
+	if err != nil {
+		return nil, nil, local.Stats{}, fmt.Errorf("core: %s encode: %w", s.Name(), err)
+	}
+	sol, stats, err := s.Decode(g, advice)
+	if err != nil {
+		return nil, advice, stats, fmt.Errorf("core: %s decode: %w", s.Name(), err)
+	}
+	if err := lcl.Verify(s.Problem(), g, sol); err != nil {
+		return sol, advice, stats, fmt.Errorf("core: %s produced invalid solution: %w", s.Name(), err)
+	}
+	return sol, advice, stats, nil
+}

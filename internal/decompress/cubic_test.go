@@ -1,0 +1,152 @@
+package decompress
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/graph"
+)
+
+func cubicGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(59))
+	out := map[string]*graph.Graph{
+		"k4":       graph.Complete(4),
+		"cube":     graph.Hypercube(3),
+		"k33":      graph.CompleteBipartite(3, 3),
+		"prism6":   graph.Prism(6),
+		"petersen": graph.Petersen(),
+	}
+	for i := 0; i < 3; i++ {
+		g, err := graph.RandomRegular(30+10*i, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["random"+string(rune('0'+i))] = g
+	}
+	// Two components.
+	out["union"] = graph.DisjointUnion(graph.Complete(4), graph.Hypercube(3))
+	return out
+}
+
+func TestCubicTwoBitRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for name, g := range cubicGraphs(t) {
+		for _, density := range []float64{0, 0.5, 1} {
+			x := randomSubset(g, density, rng)
+			st, err := Measure(CubicTwoBit{}, g, x)
+			if err != nil {
+				t.Fatalf("%s density %v: %v", name, density, err)
+			}
+			if !st.Exact {
+				t.Errorf("%s density %v: roundtrip not exact", name, density)
+			}
+			if st.MaxBits != 2 {
+				t.Errorf("%s: max bits %d, want exactly 2", name, st.MaxBits)
+			}
+			if st.AvgBits != 2 {
+				t.Errorf("%s: avg bits %v, want exactly 2", name, st.AvgBits)
+			}
+		}
+	}
+}
+
+func TestCubicTwoBitBeatsBothBounds(t *testing.T) {
+	// 2 bits sits strictly between trivial (3) and the counting bound (1.5).
+	rng := rand.New(rand.NewSource(61))
+	g, err := graph.RandomRegular(40, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSubset(g, 0.5, rng)
+	cub, err := Measure(CubicTwoBit{}, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triv, err := Measure(Trivial{}, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cub.AvgBits < triv.AvgBits && cub.AvgBits > cub.LowerBound) {
+		t.Errorf("cubic %v not between bound %v and trivial %v", cub.AvgBits, cub.LowerBound, triv.AvgBits)
+	}
+	// Honest locality accounting: the decoder is global.
+	if cub.Rounds < g.Diameter() {
+		t.Errorf("cubic codec claims %d rounds below the diameter %d", cub.Rounds, g.Diameter())
+	}
+}
+
+func TestCubicTwoBitRejectsNonCubic(t *testing.T) {
+	if _, err := (CubicTwoBit{}).Encode(graph.Cycle(10), EdgeSet{}); err == nil {
+		t.Error("2-regular graph accepted")
+	}
+	if _, err := (CubicTwoBit{}).Encode(graph.Path(5), EdgeSet{}); err == nil {
+		t.Error("path accepted")
+	}
+}
+
+func TestCubicTwoBitRejectsBadAdvice(t *testing.T) {
+	g := graph.Complete(4)
+	advice, err := CubicTwoBit{}.Encode(g, EdgeSet{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice[1] = advice[1].Slice(0, 1)
+	if _, _, err := (CubicTwoBit{}).Decode(g, advice); err == nil {
+		t.Error("1-bit node advice accepted")
+	}
+}
+
+func TestCubicPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	g, err := graph.RandomRegular(30, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := buildCubicPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := buildCubicPlan(g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range p1.edgeOwner {
+		if p1.edgeOwner[e] != p2.edgeOwner[e] {
+			t.Fatal("plan not deterministic")
+		}
+	}
+}
+
+func TestCubicOutdegreeBounds(t *testing.T) {
+	for name, g := range cubicGraphs(t) {
+		plan, err := buildCubicPlan(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		holderSet := map[int]bool{}
+		for _, h := range plan.holder {
+			holderSet[h] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			limit := 2
+			if holderSet[v] {
+				limit = 1
+			}
+			if len(plan.out[v]) > limit {
+				t.Errorf("%s: node %d owns %d edges, limit %d (holder=%v)",
+					name, v, len(plan.out[v]), limit, holderSet[v])
+			}
+		}
+		// Every non-deleted edge owned exactly once; deleted edges unowned.
+		isDeleted := map[int]bool{}
+		for _, e := range plan.deleted {
+			isDeleted[e] = true
+		}
+		for e := 0; e < g.M(); e++ {
+			if isDeleted[e] != (plan.edgeOwner[e] == -1) {
+				t.Errorf("%s: edge %d ownership inconsistent", name, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package decompress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/orient"
+)
+
+func randomSubset(g *graph.Graph, p float64, rng *rand.Rand) EdgeSet {
+	x := make(EdgeSet)
+	for e := 0; e < g.M(); e++ {
+		if rng.Float64() < p {
+			x[e] = true
+		}
+	}
+	return x
+}
+
+func codecs() []Codec {
+	return []Codec{Trivial{}, NewOriented()}
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(55))
+	reg6, err := graph.RandomRegular(50, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"cycle80":  graph.Cycle(80),
+		"torus6x8": graph.Torus2D(6, 8),
+		"6regular": reg6,
+		"grid6x9":  graph.Grid2D(6, 9),
+		"path30":   graph.Path(30),
+	}
+}
+
+func TestRoundtripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for name, g := range testGraphs(t) {
+		for _, c := range codecs() {
+			for _, density := range []float64{0, 0.3, 1} {
+				x := randomSubset(g, density, rng)
+				st, err := Measure(c, g, x)
+				if err != nil {
+					t.Fatalf("%s/%s density %v: %v", name, c.Name(), density, err)
+				}
+				if !st.Exact {
+					t.Errorf("%s/%s density %v: decoded set differs", name, c.Name(), density)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientedBeatsTrivialOnBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	g, err := graph.RandomRegular(60, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSubset(g, 0.5, rng)
+	// Larger spacing keeps marker placement feasible on this dense graph.
+	codec := Oriented{P: orient.Params{MarkSpacing: 20, MarkWindow: 20}}
+	triv, err := Measure(Trivial{}, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := Measure(codec, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.MaxBits >= triv.MaxBits {
+		t.Errorf("oriented max bits %d not below trivial %d", or.MaxBits, triv.MaxBits)
+	}
+	if or.AvgBits >= triv.AvgBits {
+		t.Errorf("oriented avg bits %v not below trivial %v", or.AvgBits, triv.AvgBits)
+	}
+	// Paper bound: a degree-d node stores at most ⌈d/2⌉+2 bits.
+	if or.MaxBits > 6/2+2 {
+		t.Errorf("oriented max bits %d exceeds ⌈d/2⌉+2 = 5", or.MaxBits)
+	}
+	// Information-theoretic lower bound d/2 = m/n must hold for any codec.
+	if or.AvgBits < or.LowerBound {
+		t.Errorf("avg bits %v below the counting bound %v — accounting bug", or.AvgBits, or.LowerBound)
+	}
+}
+
+func TestMaxBitsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	for name, g := range testGraphs(t) {
+		x := randomSubset(g, 0.5, rng)
+		advice, err := NewOriented().Encode(g, x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if got, bound := advice[v].Len(), NewOriented().MaxBits(g.Degree(v)); got > bound {
+				t.Errorf("%s: node %d (degree %d) stores %d bits > bound %d",
+					name, v, g.Degree(v), got, bound)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptAdvice(t *testing.T) {
+	g := graph.Cycle(40)
+	x := EdgeSet{0: true}
+	advice, err := NewOriented().Encode(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one node's string below the header.
+	advice[5] = advice[5].Slice(0, 0)
+	if _, _, err := NewOriented().Decode(g, advice); err == nil {
+		t.Error("empty node string accepted")
+	}
+}
+
+func TestTrivialRejectsWrongLengths(t *testing.T) {
+	g := graph.Cycle(6)
+	advice, err := Trivial{}.Encode(g, EdgeSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice[0] = advice[0].Append(1)
+	if _, _, err := (Trivial{}).Decode(g, advice); err == nil {
+		t.Error("wrong-length advice accepted")
+	}
+}
+
+func TestEdgeSetEqual(t *testing.T) {
+	a := EdgeSet{1: true, 2: true}
+	if !a.Equal(EdgeSet{2: true, 1: true}) {
+		t.Error("equal sets differ")
+	}
+	if a.Equal(EdgeSet{1: true}) || a.Equal(EdgeSet{1: true, 3: true}) {
+		t.Error("unequal sets equal")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	g := graph.Torus2D(5, 6)
+	c := NewOriented()
+	f := func(seed int64, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randomSubset(g, float64(density)/255, rng)
+		advice, err := c.Encode(g, x)
+		if err != nil {
+			return false
+		}
+		decoded, _, err := c.Decode(g, advice)
+		return err == nil && decoded.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package edgecolor implements Corollaries 5.9/5.10 of the paper:
+// Δ-edge-coloring bipartite Δ-regular graphs when Δ is a power of two, by
+// recursively composing the splitting schema of Section 5.
+//
+// Level ℓ (1 <= ℓ <= log₂ Δ) splits each of the 2^(ℓ-1) current color
+// classes — a (Δ/2^(ℓ-1))-regular bipartite subgraph — into a red and a blue
+// half using the splitting pipeline. After log₂ Δ levels every class is a
+// perfect matching, i.e. one of the Δ edge colors. The advice of all
+// (level, class) sub-schemas is merged with the same tagged self-delimiting
+// records that Lemma 1 composition uses.
+package edgecolor
+
+import (
+	"fmt"
+
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+	"localadvice/internal/orient"
+)
+
+// Schema is the recursive-splitting edge-coloring schema.
+type Schema struct {
+	// Delta is the degree of the target graphs; must be a power of two.
+	Delta int
+	// CoverRadius parameterizes each level's 2-coloring sub-schema.
+	CoverRadius int
+	// OrientParams parameterizes each level's orientation sub-schema.
+	OrientParams orient.Params
+}
+
+var _ core.VarSchema = Schema{}
+
+// New returns a schema with default sub-schema parameters.
+func New(delta int) Schema {
+	return Schema{Delta: delta, CoverRadius: 6, OrientParams: orient.DefaultParams()}
+}
+
+// Name implements core.VarSchema.
+func (s Schema) Name() string { return fmt.Sprintf("%d-edge-coloring", s.Delta) }
+
+// Problem implements core.VarSchema.
+func (s Schema) Problem() lcl.Problem { return lcl.EdgeColoring{K: s.Delta} }
+
+func (s Schema) levels() int {
+	l := 0
+	for d := s.Delta; d > 1; d /= 2 {
+		l++
+	}
+	return l
+}
+
+// numTags is the number of (level, class) sub-schemas: classes 1..Δ-1 in
+// heap numbering (class c at level ℓ has tag 2^(ℓ-1)-1+c).
+func (s Schema) numTags() int { return s.Delta - 1 }
+
+func (s Schema) validate(g *graph.Graph) error {
+	if s.Delta < 1 || s.Delta&(s.Delta-1) != 0 {
+		return fmt.Errorf("edgecolor: Delta = %d is not a power of two", s.Delta)
+	}
+	if !g.IsRegular() || g.MaxDegree() != s.Delta {
+		return fmt.Errorf("edgecolor: graph is not %d-regular (Δ=%d, min=%d)", s.Delta, g.MaxDegree(), g.MinDegree())
+	}
+	if _, ok := g.Bipartition(); !ok {
+		return fmt.Errorf("edgecolor: graph is not bipartite")
+	}
+	return nil
+}
+
+// classSubgraph builds the subgraph of g on the edges with the given class
+// label, preserving node set and IDs, and returns the mapping from subgraph
+// edge indices to g edge indices.
+func classSubgraph(g *graph.Graph, classes []int, class int) (*graph.Graph, []int) {
+	sub := graph.New(g.N())
+	ids := make([]int64, g.N())
+	for v := range ids {
+		ids[v] = g.ID(v)
+	}
+	if err := sub.SetIDs(ids); err != nil {
+		panic(err) // host IDs are unique
+	}
+	var edgeMap []int
+	for e, c := range classes {
+		if c != class {
+			continue
+		}
+		ed := g.Edge(e)
+		sub.MustAddEdge(ed.U, ed.V)
+		edgeMap = append(edgeMap, e)
+	}
+	return sub, edgeMap
+}
+
+func (s Schema) pipeline() *core.Pipeline {
+	return orient.NewSplittingPipeline(s.CoverRadius, s.OrientParams)
+}
+
+// EncodeVar implements core.VarSchema.
+func (s Schema) EncodeVar(g *graph.Graph, _ []*lcl.Solution) (core.VarAdvice, error) {
+	if err := s.validate(g); err != nil {
+		return nil, err
+	}
+	merged := make(core.VarAdvice)
+	classes := make([]int, g.M()) // all class 0
+	p := s.pipeline()
+	for level := 1; level <= s.levels(); level++ {
+		numClasses := 1 << uint(level-1)
+		next := make([]int, g.M())
+		for class := 0; class < numClasses; class++ {
+			sub, edgeMap := classSubgraph(g, classes, class)
+			va, err := p.EncodeVar(sub, nil)
+			if err != nil {
+				return nil, fmt.Errorf("edgecolor: level %d class %d: %w", level, class, err)
+			}
+			tag := numClasses - 1 + class
+			for v, payload := range va {
+				merged[v] = core.AppendTagged(merged[v], tag, payload)
+			}
+			// Compute the split the decoder will reproduce, to derive the
+			// next level's classes.
+			sol, _, err := p.DecodeVar(sub, va, nil)
+			if err != nil {
+				return nil, fmt.Errorf("edgecolor: level %d class %d prover decode: %w", level, class, err)
+			}
+			for se, ge := range edgeMap {
+				next[ge] = 2*class + sol.Edge[se] - 1 // red (1) -> 2c, blue (2) -> 2c+1
+			}
+		}
+		classes = next
+	}
+	return merged, nil
+}
+
+// DecodeVar implements core.VarSchema.
+func (s Schema) DecodeVar(g *graph.Graph, merged core.VarAdvice, _ []*lcl.Solution) (*lcl.Solution, local.Stats, error) {
+	if err := s.validate(g); err != nil {
+		return nil, local.Stats{}, err
+	}
+	// Demultiplex tagged entries once.
+	perTag := make([]core.VarAdvice, s.numTags())
+	for i := range perTag {
+		perTag[i] = make(core.VarAdvice)
+	}
+	for v, payload := range merged {
+		entries, err := core.SplitTagged(payload, s.numTags())
+		if err != nil {
+			return nil, local.Stats{}, fmt.Errorf("edgecolor: node %d: %w", v, err)
+		}
+		for tag, entry := range entries {
+			perTag[tag][v] = entry
+		}
+	}
+	p := s.pipeline()
+	classes := make([]int, g.M())
+	var total local.Stats
+	for level := 1; level <= s.levels(); level++ {
+		numClasses := 1 << uint(level-1)
+		next := make([]int, g.M())
+		levelRounds := 0
+		for class := 0; class < numClasses; class++ {
+			sub, edgeMap := classSubgraph(g, classes, class)
+			tag := numClasses - 1 + class
+			sol, stats, err := p.DecodeVar(sub, perTag[tag], nil)
+			if err != nil {
+				return nil, total, fmt.Errorf("edgecolor: level %d class %d: %w", level, class, err)
+			}
+			if stats.Rounds > levelRounds {
+				levelRounds = stats.Rounds
+			}
+			for se, ge := range edgeMap {
+				next[ge] = 2*class + sol.Edge[se] - 1
+			}
+		}
+		// Classes of one level decode in parallel (they touch disjoint
+		// edges), so a level costs the max over its classes.
+		total.Rounds += levelRounds
+		classes = next
+	}
+	sol := lcl.NewSolution(g)
+	for e, c := range classes {
+		sol.Edge[e] = c + 1
+	}
+	return sol, total, nil
+}

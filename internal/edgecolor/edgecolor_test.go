@@ -1,0 +1,162 @@
+package edgecolor
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/orient"
+)
+
+func TestEdgeColoringPowersOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tests := []struct {
+		name  string
+		delta int
+		g     func() *graph.Graph
+	}{
+		{"delta2 cycle", 2, func() *graph.Graph { return graph.Cycle(60) }},
+		{"delta4 torus", 4, func() *graph.Graph { return graph.Torus2D(4, 10) }},
+		{"delta4 random", 4, func() *graph.Graph {
+			g, err := graph.RandomBipartiteRegular(24, 4, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"delta8 random", 8, func() *graph.Graph {
+			g, err := graph.RandomBipartiteRegular(30, 8, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := tt.g()
+			s := New(tt.delta)
+			if tt.delta >= 8 {
+				// Dense graphs need sparser marks (larger decode radius).
+				s.OrientParams = orient.Params{MarkSpacing: 20, MarkWindow: 20}
+			}
+			va, err := s.EncodeVar(g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, stats, err := s.DecodeVar(g, va, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lcl.Verify(lcl.EdgeColoring{K: tt.delta}, g, sol); err != nil {
+				t.Fatal(err)
+			}
+			// Every class must be a perfect matching on a regular graph:
+			// each node sees each color exactly once.
+			for v := 0; v < g.N(); v++ {
+				seen := map[int]bool{}
+				for _, e := range g.IncidentEdges(v) {
+					seen[sol.Edge[e]] = true
+				}
+				if len(seen) != tt.delta {
+					t.Fatalf("node %d sees %d colors, want %d", v, len(seen), tt.delta)
+				}
+			}
+			if stats.Rounds <= 0 {
+				t.Error("no rounds accounted")
+			}
+		})
+	}
+}
+
+func TestEdgeColoringRejectsBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	// Non-power-of-two Delta.
+	g6, err := graph.RandomBipartiteRegular(15, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(6).EncodeVar(g6, nil); err == nil {
+		t.Error("Delta=6 accepted")
+	}
+	// Non-bipartite.
+	if _, err := New(2).EncodeVar(graph.Cycle(9), nil); err == nil {
+		t.Error("odd cycle accepted")
+	}
+	// Non-regular.
+	if _, err := New(2).EncodeVar(graph.Path(10), nil); err == nil {
+		t.Error("path accepted")
+	}
+	// Wrong Delta for the graph.
+	if _, err := New(4).EncodeVar(graph.Cycle(12), nil); err == nil {
+		t.Error("Delta mismatch accepted")
+	}
+}
+
+func TestAdviceTagsSplitCleanly(t *testing.T) {
+	g := graph.Torus2D(4, 6)
+	s := New(4)
+	va, err := s.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(va) == 0 {
+		t.Fatal("no advice produced for Δ=4 torus")
+	}
+	// Decoding twice must be deterministic.
+	sol1, _, err := s.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, _, err := s.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range sol1.Edge {
+		if sol1.Edge[e] != sol2.Edge[e] {
+			t.Fatal("decoding not deterministic")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptTaggedAdvice(t *testing.T) {
+	g := graph.Torus2D(4, 6)
+	s := New(4)
+	va, err := s.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one holder's merged payload.
+	for v, payload := range va {
+		va[v] = payload.Slice(0, payload.Len()/2)
+		break
+	}
+	if _, _, err := s.DecodeVar(g, va, nil); err == nil {
+		t.Error("corrupt tagged advice accepted")
+	}
+}
+
+func TestDeltaOneTrivial(t *testing.T) {
+	// Δ = 1: a perfect matching needs one color and zero levels.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	s := New(1)
+	va, err := s.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(va) != 0 {
+		t.Errorf("Δ=1 produced advice: %v", va)
+	}
+	sol, _, err := s.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range sol.Edge {
+		if sol.Edge[e] != 1 {
+			t.Errorf("edge %d color %d, want 1", e, sol.Edge[e])
+		}
+	}
+}

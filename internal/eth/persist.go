@@ -1,0 +1,114 @@
+package eth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Order-invariant algorithms on bounded-degree graphs ARE finite lookup
+// tables (the s(n)-is-small ingredient of Section 8); Save and Load make
+// that concrete by serializing a compiled Table to a line-oriented text
+// format:
+//
+//	radius <T>
+//	entry <output> <canonical-view-key>
+//
+// Outputs are serialized by the caller-provided codec, since Table values
+// are opaque to this package.
+
+// Save writes the table with outputs rendered by encode, which must produce
+// strings without spaces or newlines.
+func (t *Table) Save(w io.Writer, encode func(any) (string, error)) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "radius %d\n", t.Radius); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(t.Entries))
+	for k := range t.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out, err := encode(t.Entries[k])
+		if err != nil {
+			return fmt.Errorf("eth: encode entry: %w", err)
+		}
+		if strings.ContainsAny(out, " \n") {
+			return fmt.Errorf("eth: encoded output %q contains separators", out)
+		}
+		if strings.ContainsAny(k, "\n") {
+			return fmt.Errorf("eth: canonical key contains newline")
+		}
+		if _, err := fmt.Fprintf(bw, "entry %s %s\n", out, k); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTable parses the Save format, decoding outputs with decode.
+func LoadTable(r io.Reader, decode func(string) (any, error)) (*Table, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<24)
+	t := &Table{Radius: -1, Entries: map[string]any{}}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "radius "):
+			if _, err := fmt.Sscanf(line, "radius %d", &t.Radius); err != nil {
+				return nil, fmt.Errorf("eth: line %d: %v", lineNo, err)
+			}
+		case strings.HasPrefix(line, "entry "):
+			rest := line[len("entry "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("eth: line %d: malformed entry", lineNo)
+			}
+			out, err := decode(rest[:sp])
+			if err != nil {
+				return nil, fmt.Errorf("eth: line %d: %w", lineNo, err)
+			}
+			key := rest[sp+1:]
+			if _, dup := t.Entries[key]; dup {
+				return nil, fmt.Errorf("eth: line %d: duplicate key", lineNo)
+			}
+			t.Entries[key] = out
+		default:
+			return nil, fmt.Errorf("eth: line %d: unknown directive", lineNo)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if t.Radius < 0 {
+		return nil, fmt.Errorf("eth: missing radius directive")
+	}
+	return t, nil
+}
+
+// IntCodec is the output codec for int-valued tables.
+func IntCodec() (encode func(any) (string, error), decode func(string) (any, error)) {
+	encode = func(v any) (string, error) {
+		i, ok := v.(int)
+		if !ok {
+			return "", fmt.Errorf("eth: output %T is not int", v)
+		}
+		return fmt.Sprintf("%d", i), nil
+	}
+	decode = func(s string) (any, error) {
+		var i int
+		if _, err := fmt.Sscanf(s, "%d", &i); err != nil {
+			return nil, err
+		}
+		return i, nil
+	}
+	return encode, decode
+}

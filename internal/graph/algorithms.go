@@ -1,0 +1,237 @@
+package graph
+
+import "fmt"
+
+// BFSFrom returns the distance (in edges) from src to every node; unreachable
+// nodes get -1.
+func (g *Graph) BFSFrom(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the distance between u and v, or -1 if disconnected.
+func (g *Graph) Dist(u, v int) int { return g.BFSFrom(u)[v] }
+
+// Ball returns the node indices at distance <= r from v, in BFS order.
+func (g *Graph) Ball(v, r int) []int {
+	dist := map[int]int{v: 0}
+	queue := []int{v}
+	out := []int{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == r {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Sphere returns the node indices at distance exactly r from v.
+func (g *Graph) Sphere(v, r int) []int {
+	dist := g.BFSFrom(v)
+	var out []int
+	for u, d := range dist {
+		if d == r {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Components returns, for each node, the index of its connected component,
+// along with the number of components. Component indices are assigned in
+// order of the smallest node index they contain.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if comp[w] == -1 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// Diameter returns the largest finite distance between any pair of nodes in
+// the same component (the maximum of component diameters). Returns 0 for
+// graphs with no edges.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		for _, dv := range g.BFSFrom(v) {
+			if dv > d {
+				d = dv
+			}
+		}
+	}
+	return d
+}
+
+// Eccentricity returns max_u dist(v, u) within v's component.
+func (g *Graph) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range g.BFSFrom(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// InducedSubgraph returns the subgraph induced by the given node indices,
+// preserving node IDs, together with the mapping from new indices to
+// original indices.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
+	idx := make(map[int]int, len(nodes))
+	orig := make([]int, len(nodes))
+	for i, v := range nodes {
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", v))
+		}
+		idx[v] = i
+		orig[i] = v
+	}
+	sub := New(len(nodes))
+	ids := make([]int64, len(nodes))
+	for i, v := range nodes {
+		ids[i] = g.ids[v]
+	}
+	if err := sub.SetIDs(ids); err != nil {
+		panic(err)
+	}
+	for i, v := range nodes {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[w]; ok && i < j {
+				sub.MustAddEdge(i, j)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// Power returns the k-th power graph G^k: same nodes, an edge between any
+// pair at distance 1..k in g.
+func (g *Graph) Power(k int) *Graph {
+	p := New(g.n)
+	if err := p.SetIDs(g.ids); err != nil {
+		panic(err)
+	}
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.Ball(v, k) {
+			if w > v {
+				p.MustAddEdge(v, w)
+			}
+		}
+	}
+	return p
+}
+
+// Bipartition returns a 2-coloring (values 0/1) of the nodes if the graph is
+// bipartite, or ok=false otherwise. Each component is colored starting from
+// its smallest node index with side 0.
+func (g *Graph) Bipartition() (side []int, ok bool) {
+	side = make([]int, g.n)
+	for i := range side {
+		side[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if side[v] != -1 {
+			continue
+		}
+		side[v] = 0
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if side[w] == -1 {
+					side[w] = 1 - side[u]
+					queue = append(queue, w)
+				} else if side[w] == side[u] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}
+
+// GrowthProfile returns, for radii 0..maxR, the maximum over all nodes of
+// |N_{<=r}(v)|. Experiments use it to check which families are inside the
+// sub-exponential growth regime at the scales tested.
+func (g *Graph) GrowthProfile(maxR int) []int {
+	out := make([]int, maxR+1)
+	for v := 0; v < g.n; v++ {
+		dist := g.BFSFrom(v)
+		counts := make([]int, maxR+1)
+		for _, d := range dist {
+			if d >= 0 && d <= maxR {
+				counts[d]++
+			}
+		}
+		cum := 0
+		for r := 0; r <= maxR; r++ {
+			cum += counts[r]
+			if cum > out[r] {
+				out[r] = cum
+			}
+		}
+	}
+	return out
+}
+
+// TriangleFree reports whether the graph has no triangle.
+func (g *Graph) TriangleFree() bool {
+	for _, e := range g.edges {
+		for _, w := range g.adj[e.U] {
+			if w != e.V && g.HasEdge(w, e.V) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,455 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cycle returns the cycle C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Path returns the path P_n on n nodes (n >= 1).
+func Path(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: path needs n >= 1, got %d", n))
+	}
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	return g
+}
+
+// Grid2D returns the rows x cols grid graph. Grids have polynomial (hence
+// sub-exponential) growth and are the canonical Section 4 workload.
+func Grid2D(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: grid needs positive dims, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus2D returns the rows x cols torus (wrap-around grid); 4-regular when
+// rows, cols >= 3. All nodes have even degree, making it a natural balanced
+// orientation workload.
+func Torus2D(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus needs dims >= 3, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(at(r, c), at(r, (c+1)%cols))
+			g.MustAddEdge(at(r, c), at((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.MustAddEdge(u, a+v)
+		}
+	}
+	return g
+}
+
+// Star returns the star K_{1,leaves} with the center at index 0.
+func Star(leaves int) *Graph {
+	g := New(leaves + 1)
+	for v := 1; v <= leaves; v++ {
+		g.MustAddEdge(0, v)
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree with the given number
+// of levels (level 1 = a single root). Complete binary trees have
+// EXPONENTIAL growth; they are included precisely as the canonical family
+// outside the sub-exponential regime, for the Theorem 4.1 contrast in
+// experiment E1.
+func CompleteBinaryTree(levels int) *Graph {
+	if levels < 1 {
+		panic(fmt.Sprintf("graph: tree needs levels >= 1, got %d", levels))
+	}
+	n := 1<<uint(levels) - 1
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, (v-1)/2)
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 20 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ 1<<uint(b)
+			if v < w {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Ladder returns the ladder graph (two paths of length n joined by rungs).
+func Ladder(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: ladder needs n >= 2, got %d", n))
+	}
+	g := New(2 * n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+		g.MustAddEdge(n+v, n+v+1)
+	}
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, n+v)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes, built from
+// a random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: tree needs n >= 1, got %d", n))
+	}
+	g := New(n)
+	if n == 1 {
+		return g
+	}
+	if n == 2 {
+		g.MustAddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				g.MustAddEdge(u, v)
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	var last []int
+	for u := 0; u < n; u++ {
+		if degree[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	g.MustAddEdge(last[0], last[1])
+	return g
+}
+
+// RandomGNP returns an Erdős–Rényi G(n, p) graph.
+func RandomGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular simple graph on n nodes, built as
+// the edge-disjoint union of ⌊d/2⌋ random Hamiltonian cycles plus (for odd d,
+// which requires even n) one random perfect matching. Each overlay is
+// retried until it avoids the edges already placed, which succeeds quickly
+// for the moderate d used in the experiments. Requires n*d even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: random regular needs 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d = %d*%d is odd", n, d)
+	}
+	const maxAttempts = 5000
+	g := New(n)
+	for c := 0; c < d/2; c++ {
+		if !addHamiltonianOverlay(g, rng, maxAttempts) {
+			return nil, fmt.Errorf("graph: could not place Hamiltonian overlay %d for d=%d n=%d", c, d, n)
+		}
+	}
+	if d%2 == 1 {
+		if !addMatchingOverlay(g, rng, maxAttempts) {
+			return nil, fmt.Errorf("graph: could not place matching overlay for d=%d n=%d", d, n)
+		}
+	}
+	return g, nil
+}
+
+func addHamiltonianOverlay(g *Graph, rng *rand.Rand, maxAttempts int) bool {
+	n := g.N()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		perm := rng.Perm(n)
+		ok := true
+		for i := 0; i < n; i++ {
+			if g.HasEdge(perm[i], perm[(i+1)%n]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(perm[i], perm[(i+1)%n])
+		}
+		return true
+	}
+	return false
+}
+
+func addMatchingOverlay(g *Graph, rng *rand.Rand, maxAttempts int) bool {
+	n := g.N()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		perm := rng.Perm(n)
+		ok := true
+		for i := 0; i < n; i += 2 {
+			if g.HasEdge(perm[i], perm[i+1]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i += 2 {
+			g.MustAddEdge(perm[i], perm[i+1])
+		}
+		return true
+	}
+	return false
+}
+
+// RandomBipartiteRegular returns a random bipartite d-regular graph with
+// parts {0..half-1} and {half..2*half-1}, built as the union of d random
+// perfect matchings (with restarts to stay simple).
+func RandomBipartiteRegular(half, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 0 || d > half {
+		return nil, fmt.Errorf("graph: bipartite regular needs 0 <= d <= half, got d=%d half=%d", d, half)
+	}
+	const maxAttempts = 20000
+	g := New(2 * half)
+	for matching := 0; matching < d; matching++ {
+		placed := false
+		for attempt := 0; attempt < maxAttempts && !placed; attempt++ {
+			perm := rng.Perm(half)
+			ok := true
+			for u := 0; u < half; u++ {
+				if g.HasEdge(u, half+perm[u]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for u := 0; u < half; u++ {
+				g.MustAddEdge(u, half+perm[u])
+			}
+			placed = true
+		}
+		if !placed {
+			return nil, fmt.Errorf("graph: no simple bipartite %d-regular graph with half=%d found", d, half)
+		}
+	}
+	return g, nil
+}
+
+// RandomEvenDegree returns a random graph in which every node has even
+// degree, built as the edge-disjoint union of random cycles. cycles is the
+// number of cycle overlays; each overlay visits a random subset of nodes.
+func RandomEvenDegree(n, cycles int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for c := 0; c < cycles; c++ {
+		addRandomCycleOverlay(g, rng)
+	}
+	return g
+}
+
+func addRandomCycleOverlay(g *Graph, rng *rand.Rand) {
+	n := g.N()
+	if n < 3 {
+		return
+	}
+	// Random cycle through a random subset of at least 3 nodes; skip edges
+	// that already exist (which would create multi-edges) by trying a few
+	// permutations.
+	for attempt := 0; attempt < 50; attempt++ {
+		k := 3 + rng.Intn(n-2)
+		perm := rng.Perm(n)[:k]
+		ok := true
+		for i := 0; i < k; i++ {
+			u, v := perm[i], perm[(i+1)%k]
+			if g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			g.MustAddEdge(perm[i], perm[(i+1)%k])
+		}
+		return
+	}
+}
+
+// RandomColorable returns a random graph that is k-colorable by
+// construction: nodes are split into k planted classes and each candidate
+// cross-class edge is kept with probability p. The planted coloring is
+// returned alongside the graph (colors 1..k).
+func RandomColorable(n, k int, p float64, rng *rand.Rand) (*Graph, []int) {
+	if k < 1 {
+		panic(fmt.Sprintf("graph: k-colorable needs k >= 1, got %d", k))
+	}
+	g := New(n)
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = 1 + rng.Intn(k)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if colors[u] != colors[v] && rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g, colors
+}
+
+// CyclePowers returns the k-th power of a cycle C_n^k: node i is adjacent to
+// the k nearest nodes in each direction. It is 2k-regular with even degrees
+// and bounded growth — a useful Δ-sweep family.
+func CyclePowers(n, k int) *Graph {
+	if n < 2*k+1 {
+		panic(fmt.Sprintf("graph: cycle power needs n >= 2k+1, got n=%d k=%d", n, k))
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			w := (v + j) % n
+			if !g.HasEdge(v, w) {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// DisjointUnion returns the disjoint union of the given graphs; node indices
+// and IDs of later graphs are shifted to stay unique.
+func DisjointUnion(gs ...*Graph) *Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.N()
+	}
+	out := New(total)
+	ids := make([]int64, 0, total)
+	var maxID int64
+	offset := 0
+	for _, g := range gs {
+		for v := 0; v < g.N(); v++ {
+			ids = append(ids, g.ID(v)+maxID)
+		}
+		for _, e := range g.Edges() {
+			out.MustAddEdge(e.U+offset, e.V+offset)
+		}
+		offset += g.N()
+		for v := 0; v < g.N(); v++ {
+			if id := ids[len(ids)-g.N()+v]; id > maxID {
+				maxID = id
+			}
+		}
+	}
+	if err := out.SetIDs(ids); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Prism returns the n-prism (two n-cycles joined by rungs), a 3-regular
+// graph with linear growth.
+func Prism(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: prism needs n >= 3, got %d", n))
+	}
+	g := New(2 * n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+		g.MustAddEdge(n+i, n+(i+1)%n)
+		g.MustAddEdge(i, n+i)
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph: 3-regular, girth 5, the classic
+// counterexample machine.
+func Petersen() *Graph {
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, (i+1)%5)     // outer cycle
+		g.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.MustAddEdge(i, 5+i)         // spokes
+	}
+	return g
+}

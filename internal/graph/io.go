@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g in a line-oriented text format:
+//
+//	# comments and blank lines are ignored
+//	n <nodes>
+//	id <node> <identifier>       (omitted when identifiers are sequential)
+//	e <u> <v>                    (one line per edge, by node index)
+//
+// The format round-trips exactly through ReadEdgeList, including the
+// identifier assignment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	sequential := true
+	for v := 0; v < g.N(); v++ {
+		if g.ID(v) != int64(v+1) {
+			sequential = false
+			break
+		}
+	}
+	if !sequential {
+		for v := 0; v < g.N(); v++ {
+			if _, err := fmt.Fprintf(bw, "id %d %d\n", v, g.ID(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	ids := map[int]int64{}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate n directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: n needs one argument", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = New(n)
+		case "id":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: id before n", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: id needs two arguments", lineNo)
+			}
+			v, err1 := strconv.Atoi(fields[1])
+			id, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil || v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("graph: line %d: bad id directive", lineNo)
+			}
+			ids[v] = id
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: e before n", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: e needs two arguments", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge", lineNo)
+			}
+			if _, err := g.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing n directive")
+	}
+	if len(ids) > 0 {
+		if len(ids) != g.N() {
+			return nil, fmt.Errorf("graph: %d id directives for %d nodes", len(ids), g.N())
+		}
+		all := make([]int64, g.N())
+		for v, id := range ids {
+			all[v] = id
+		}
+		if err := g.SetIDs(all); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Equal reports whether two graphs are identical: same node count, same
+// identifiers per index, and the same edge set.
+func Equal(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.ID(v) != b.ID(v) {
+			return false
+		}
+	}
+	edgeKey := func(g *Graph) []string {
+		keys := make([]string, 0, g.M())
+		for _, e := range g.Edges() {
+			keys = append(keys, fmt.Sprintf("%d-%d", e.U, e.V))
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	ka, kb := edgeKey(a), edgeKey(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

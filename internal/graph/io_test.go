@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	graphs := map[string]*Graph{
+		"cycle":    Cycle(9),
+		"empty":    New(4),
+		"single":   New(1),
+		"gnp":      RandomGNP(25, 0.2, rng),
+		"spreadID": func() *Graph { g := Cycle(12); AssignSpreadIDs(g, rng); return g }(),
+	}
+	for name, g := range graphs {
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: read: %v\n%s", name, err, sb.String())
+		}
+		if !Equal(g, back) {
+			t.Errorf("%s: roundtrip mismatch", name)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# a comment\n\nn 3\ne 0 1\n# another\ne 1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("got n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"missing n", "e 0 1\n"},
+		{"no directives", "# nothing\n"},
+		{"duplicate n", "n 2\nn 3\n"},
+		{"bad count", "n x\n"},
+		{"edge out of range", "n 2\ne 0 5\n"},
+		{"loop", "n 2\ne 1 1\n"},
+		{"duplicate edge", "n 2\ne 0 1\ne 1 0\n"},
+		{"unknown directive", "n 2\nq 1\n"},
+		{"id before n", "id 0 5\n"},
+		{"partial ids", "n 2\nid 0 7\ne 0 1\n"},
+		{"bad id node", "n 2\nid 9 7\n"},
+		{"malformed edge", "n 2\ne 0\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadEdgeList(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Cycle(5), Cycle(5)) {
+		t.Error("identical graphs unequal")
+	}
+	if Equal(Cycle(5), Cycle(6)) || Equal(Cycle(4), Path(4)) {
+		t.Error("different graphs equal")
+	}
+	a, b := Cycle(5), Cycle(5)
+	if err := b.SetIDs([]int64{5, 4, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(a, b) {
+		t.Error("graphs with different IDs equal")
+	}
+}

@@ -1,0 +1,218 @@
+package growth
+
+import (
+	"strings"
+	"testing"
+
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// colorSolver is a fast prover solver for coloring problems with K >= Δ+1.
+func colorSolver(g *graph.Graph) (*lcl.Solution, error) {
+	return lcl.ColoringSolution(g, lcl.GreedyColoring(g))
+}
+
+func TestSchemaOnCycleColoring(t *testing.T) {
+	g := graph.Cycle(600)
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 60, Solver: colorSolver}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, beta := core.Classify(advice); kind != core.UniformFixedLength || beta != 1 {
+		t.Errorf("advice %v/%d, want uniform 1-bit", kind, beta)
+	}
+	sol, stats, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != s.DecodeRadius() {
+		t.Errorf("rounds = %d, want %d", stats.Rounds, s.DecodeRadius())
+	}
+}
+
+func TestSchemaRoundsIndependentOfN(t *testing.T) {
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 60, Solver: colorSolver}
+	var rounds []int
+	for _, n := range []int{500, 800} {
+		g := graph.Cycle(n)
+		advice, err := s.Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := s.Decode(g, advice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, stats.Rounds)
+	}
+	if rounds[0] != rounds[1] {
+		t.Errorf("rounds depend on n: %v", rounds)
+	}
+}
+
+func TestSchemaOnPath(t *testing.T) {
+	g := graph.Path(500)
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 60, Solver: colorSolver}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaMISOnCycle(t *testing.T) {
+	g := graph.Cycle(500)
+	s := Schema{Problem: lcl.MIS{}, ClusterRadius: 40}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.MIS{}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaMaximalMatchingOnCycle(t *testing.T) {
+	g := graph.Cycle(400)
+	s := Schema{Problem: lcl.MaximalMatching{}, ClusterRadius: 40}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.MaximalMatching{}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaOnLadder(t *testing.T) {
+	g := graph.Ladder(250)
+	s := Schema{Problem: lcl.Coloring{K: 4}, ClusterRadius: 60, Solver: colorSolver}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 4}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaSmallComponentsSolo(t *testing.T) {
+	// Isolated nodes decode alone; a mix with a big cycle must still work.
+	g := graph.DisjointUnion(graph.Cycle(400), graph.New(3))
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 40, Solver: colorSolver}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityFailureOnExponentialGrowth(t *testing.T) {
+	// A complete binary tree has exponential growth: the boundary strip of
+	// a cluster outgrows its interior, and the encoder must refuse — the
+	// Theorem 4.1 precondition at work.
+	g := graph.CompleteBinaryTree(10)
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 8, Solver: colorSolver}
+	_, err := s.Encode(g)
+	if err == nil {
+		t.Fatal("encoder accepted an exponential-growth family")
+	}
+	if !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSparsityImprovesWithRadius(t *testing.T) {
+	g := graph.Cycle(900)
+	var ratios []float64
+	for _, r := range []int{40, 80} {
+		s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: r, Solver: colorSolver}
+		advice, err := s.Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio, err := core.Sparsity(advice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, ratio)
+	}
+	if ratios[1] >= ratios[0] {
+		t.Errorf("sparsity did not improve with radius: %v", ratios)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := (Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 2}).Encode(graph.Cycle(10)); err == nil {
+		t.Error("tiny radius accepted")
+	}
+	if _, err := (Schema{ClusterRadius: 10}).Encode(graph.Cycle(10)); err == nil {
+		t.Error("nil problem accepted")
+	}
+}
+
+func TestDecodeRejectsMalformedAdvice(t *testing.T) {
+	g := graph.Cycle(100)
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 20, Solver: colorSolver}
+	bad := make(local.Advice, g.N())
+	if _, _, err := s.Decode(g, bad); err == nil {
+		t.Error("empty per-node advice accepted")
+	}
+}
+
+func TestDefinitionThreeEpsilonSparse(t *testing.T) {
+	// Definition 3 operationally: for any ε, a knob value exists whose
+	// advice has ones ratio <= ε — here via the cluster radius.
+	g := graph.Cycle(1200)
+	build := func(knob int) (local.Advice, error) {
+		s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: knob, Solver: colorSolver}
+		return s.Encode(g)
+	}
+	res, err := core.TuneSparsity(build, 0.05, 40, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio > 0.05 {
+		t.Errorf("ratio %v above eps", res.Ratio)
+	}
+	// The tuned advice still decodes to a valid solution.
+	s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: res.Knob, Solver: colorSolver}
+	sol, _, err := s.Decode(g, res.Advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.Coloring{K: 3}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package growth
+
+import (
+	"fmt"
+
+	"localadvice/internal/graph"
+)
+
+// This file implements Lemma 4.3 of the paper verbatim: in a family of
+// sub-exponential growth there is, around every node v, a radius
+// α ∈ {x, ..., 2x} whose ball dominates its own boundary shell by a Δ^r
+// factor:
+//
+//	|N_{<=α}(v)|  >=  Δ^r · |N_{=α+r}(v)|.
+//
+// This is exactly the capacity inequality that lets a cluster's interior
+// store the solution of its boundary. FindAlpha searches for the α; on
+// bounded-growth families it exists at moderate x, while on expanders and
+// trees it keeps failing as x grows — the quantitative heart of the
+// Theorem 4.1 / Section 8 dichotomy, measurable per graph.
+
+// FindAlpha returns the smallest α in {x, ..., 2x} satisfying the Lemma 4.3
+// inequality for node v and shell offset r, or an error if none exists.
+func FindAlpha(g *graph.Graph, v, r, x int) (int, error) {
+	if r < 1 || x < 1 {
+		return 0, fmt.Errorf("growth: FindAlpha needs r, x >= 1, got r=%d x=%d", r, x)
+	}
+	dist := g.BFSFrom(v)
+	delta := g.MaxDegree()
+	factor := 1
+	for i := 0; i < r; i++ {
+		factor *= delta
+	}
+	// Shell and ball sizes by radius.
+	maxR := 2*x + r
+	ball := make([]int, maxR+1)
+	shell := make([]int, maxR+1)
+	for _, d := range dist {
+		if d >= 0 && d <= maxR {
+			shell[d]++
+		}
+	}
+	cum := 0
+	for d := 0; d <= maxR; d++ {
+		cum += shell[d]
+		ball[d] = cum
+	}
+	for alpha := x; alpha <= 2*x; alpha++ {
+		if ball[alpha] >= factor*shell[alpha+r] {
+			return alpha, nil
+		}
+	}
+	return 0, fmt.Errorf("growth: no α in {%d..%d} with |N_<=α| >= Δ^%d·|N_=α+%d| at node %d — growth too fast at this scale", x, 2*x, r, r, v)
+}
+
+// AlphaProfile reports, for every node, whether Lemma 4.3's α exists at the
+// given (r, x), and the fraction of nodes where it does — the family-level
+// growth diagnostic used by the E1 discussion.
+func AlphaProfile(g *graph.Graph, r, x int) (fractionOK float64, firstFailure int) {
+	ok := 0
+	firstFailure = -1
+	for v := 0; v < g.N(); v++ {
+		if _, err := FindAlpha(g, v, r, x); err == nil {
+			ok++
+		} else if firstFailure == -1 {
+			firstFailure = v
+		}
+	}
+	if g.N() == 0 {
+		return 1, -1
+	}
+	return float64(ok) / float64(g.N()), firstFailure
+}

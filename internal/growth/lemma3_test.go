@@ -1,0 +1,82 @@
+package growth
+
+import (
+	"testing"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func TestFindAlphaOnBoundedGrowth(t *testing.T) {
+	// On cycles the shell size is constant (2), so the ball dominates the
+	// shell once x >= Δ^r: α exists for modest parameters.
+	g := graph.Cycle(400)
+	alpha, err := FindAlpha(g, 0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 10 || alpha > 20 {
+		t.Errorf("α = %d outside {x..2x}", alpha)
+	}
+	// Grids: shell ~ 4d, ball ~ 2d²; needs a larger x for Δ^r = 16.
+	grid := graph.Grid2D(60, 60)
+	if _, err := FindAlpha(grid, 30*60+30, 2, 25); err != nil {
+		t.Errorf("grid: %v", err)
+	}
+}
+
+func TestFindAlphaFailsOnExponentialGrowth(t *testing.T) {
+	// On a complete binary tree the shell grows like 2^d: no α can make
+	// the ball beat Δ^r times the shell at these scales.
+	tree := graph.CompleteBinaryTree(12)
+	if _, err := FindAlpha(tree, 0, 2, 4); err == nil {
+		t.Error("Lemma 4.3 α found on an exponential-growth tree")
+	}
+	frac, firstFail := AlphaProfile(tree, 2, 3)
+	if frac > 0.5 {
+		t.Errorf("α exists at %.2f of tree nodes, expected mostly failures", frac)
+	}
+	if firstFail == -1 {
+		t.Error("no failing node reported")
+	}
+}
+
+func TestAlphaProfileAllOKOnCycle(t *testing.T) {
+	g := graph.Cycle(200)
+	frac, firstFail := AlphaProfile(g, 1, 4)
+	if frac != 1 {
+		t.Errorf("fraction = %v, want 1 (first failure at %d)", frac, firstFail)
+	}
+}
+
+func TestFindAlphaArgErrors(t *testing.T) {
+	g := graph.Cycle(10)
+	if _, err := FindAlpha(g, 0, 0, 5); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := FindAlpha(g, 0, 2, 0); err == nil {
+		t.Error("x=0 accepted")
+	}
+}
+
+func TestSchemaRulingSetRadiusTwo(t *testing.T) {
+	// A checkability radius of 2 exercises the thick-strip path of the
+	// schema: the boundary strip is Ball(boundary, 2) and verification
+	// balls have radius 2.
+	g := graph.Cycle(500)
+	s := Schema{Problem: lcl.RulingSet{Beta: 2}, ClusterRadius: 50}
+	advice, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err := s.Decode(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.Verify(lcl.RulingSet{Beta: 2}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*50 + 2 + 4; stats.Rounds != want {
+		t.Errorf("rounds = %d, want %d (radius folds in r̄ = 2)", stats.Rounds, want)
+	}
+}

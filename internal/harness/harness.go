@@ -1,0 +1,114 @@
+// Package harness runs the experiments of EXPERIMENTS.md — one per
+// contribution of the paper — and renders their tables. Both the locad CLI
+// and the benchmark suite drive experiments through this package so the
+// tables are regenerated identically everywhere.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row given as formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Table, error)
+}
+
+// All returns every experiment, in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "LCLs on bounded-growth graphs with 1-bit advice (Thm 4.1)", Run: RunE1},
+		{ID: "E2", Title: "Brute-force advice search scales exponentially (Sec 8 / ETH)", Run: RunE2},
+		{ID: "E3", Title: "Almost-balanced orientation with sparse advice (Cor 5.2/5.4)", Run: RunE3},
+		{ID: "E4", Title: "Edge-subset compression at ~d/2 bits per node (Sec 1.5)", Run: RunE4},
+		{ID: "E5", Title: "Δ-coloring of Δ-colorable graphs with advice (Thm 6.1)", Run: RunE5},
+		{ID: "E6", Title: "3-coloring 3-colorable graphs with 1 bit per node (Thm 7.1)", Run: RunE6},
+		{ID: "E7", Title: "Δ-edge-coloring bipartite Δ-regular graphs, Δ = 2^k (Cor 5.9)", Run: RunE7},
+		{ID: "E8", Title: "Composability and arbitrarily sparse advice (Lem 1/2, Def 3/4)", Run: RunE8},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment IDs.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func du(v uint64) string  { return fmt.Sprintf("%d", v) }
+func b(v bool) string     { return fmt.Sprintf("%v", v) }

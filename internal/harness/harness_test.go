@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a while")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("row %v has %d cells for %d columns", row, len(row), len(table.Header))
+				}
+			}
+			var sb strings.Builder
+			table.Render(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Error("render missing experiment id")
+			}
+			t.Log("\n" + sb.String())
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e3"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("unknown experiment found")
+	}
+	if len(IDs()) != 8 {
+		t.Errorf("IDs = %v, want 8 experiments", IDs())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID: "X", Title: "test",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	table.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== X: test ==", "long-column", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/coloring"
+	"localadvice/internal/core"
+	"localadvice/internal/decompress"
+	"localadvice/internal/graph"
+	"localadvice/internal/growth"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+	"localadvice/internal/orient"
+)
+
+// Decoders are exposed to whatever bits a (possibly broken or adversarial)
+// prover produced. Definition 2 only promises correct output for the
+// prover's advice, but decoders must never panic, hang, or silently
+// mis-assemble on other inputs: they return an error or some (possibly
+// invalid) labeling. These fuzz-style tests drive every decoder with random
+// advice of the right shape.
+
+func randomOneBit(g *graph.Graph, rng *rand.Rand) local.Advice {
+	advice := make(local.Advice, g.N())
+	for v := range advice {
+		advice[v] = bitstr.New(rng.Intn(2))
+	}
+	return advice
+}
+
+func randomVarAdvice(g *graph.Graph, rng *rand.Rand, maxHolders, maxBits int) core.VarAdvice {
+	va := make(core.VarAdvice)
+	for i := 0; i < rng.Intn(maxHolders+1); i++ {
+		payload := bitstr.String{}
+		for b := 0; b < rng.Intn(maxBits+1); b++ {
+			payload = payload.Append(rng.Intn(2))
+		}
+		va[rng.Intn(g.N())] = payload
+	}
+	return va
+}
+
+func TestThreeColoringDecoderRobustToRandomAdvice(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	g := graph.Cycle(90)
+	schema := coloring.ThreeColoring{CoverRadius: 10, GroupSpread: 2}
+	for trial := 0; trial < 25; trial++ {
+		advice := randomOneBit(g, rng)
+		sol, _, err := schema.Decode(g, advice)
+		if err != nil {
+			continue // rejecting garbage is correct
+		}
+		// If it decodes without error, the labels must at least be in range.
+		for v, c := range sol.Node {
+			if c < 1 || c > 3 {
+				t.Fatalf("trial %d: node %d got label %d", trial, v, c)
+			}
+		}
+	}
+}
+
+func TestGrowthDecoderRobustToRandomAdvice(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	g := graph.Cycle(200)
+	s := growth.Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 20, Solver: colorSolver}
+	for trial := 0; trial < 15; trial++ {
+		advice := randomOneBit(g, rng)
+		// Error or labeling; never panic.
+		if sol, _, err := s.Decode(g, advice); err == nil {
+			for _, c := range sol.Node {
+				if c < 1 || c > 3 {
+					t.Fatalf("trial %d: out-of-range label %d", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientationDecoderRobustToRandomVarAdvice(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	g := graph.Cycle(120)
+	s := orient.Schema{P: orient.DefaultParams()}
+	for trial := 0; trial < 25; trial++ {
+		va := randomVarAdvice(g, rng, 6, 3)
+		// The decoder must either error (bad marks) or return a full
+		// orientation; it must never leave edges unset silently.
+		sol, _, err := s.DecodeVar(g, va, nil)
+		if err != nil {
+			continue
+		}
+		for e, d := range sol.Edge {
+			if d != lcl.TowardU && d != lcl.TowardV {
+				t.Fatalf("trial %d: edge %d direction %d", trial, e, d)
+			}
+		}
+	}
+}
+
+func TestOneBitCodecRobustToRandomBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	g := graph.Cycle(150)
+	codec := core.OneBitCodec{Radius: 25}
+	for trial := 0; trial < 30; trial++ {
+		advice := randomOneBit(g, rng)
+		// Decode either errors or returns some holder set; every returned
+		// payload decoded from a marker stream by construction.
+		if va, _, err := codec.Decode(g, advice); err == nil {
+			for v := range va {
+				if v < 0 || v >= g.N() {
+					t.Fatalf("trial %d: holder %d out of range", trial, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressCodecsRobustToRandomAdvice(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	g, err := graph.RandomRegular(40, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := []decompress.Codec{decompress.Trivial{}, decompress.CubicTwoBit{}}
+	for _, c := range codecs {
+		for trial := 0; trial < 15; trial++ {
+			advice := make(local.Advice, g.N())
+			for v := range advice {
+				width := c.MaxBits(g.Degree(v))
+				s := bitstr.String{}
+				for b := 0; b < width; b++ {
+					s = s.Append(rng.Intn(2))
+				}
+				advice[v] = s
+			}
+			// Any full-width advice decodes to SOME edge set (that is the
+			// point of an exact codec: the map is a bijection).
+			if _, _, err := c.Decode(g, advice); err != nil {
+				t.Fatalf("%s trial %d: %v", c.Name(), trial, err)
+			}
+		}
+	}
+}
+
+func TestTwoBitCubicBijectionSample(t *testing.T) {
+	// Sample the bijection property: distinct subsets encode to distinct
+	// advice (injectivity on a sample).
+	rng := rand.New(rand.NewSource(306))
+	g := graph.Complete(4)
+	seen := map[string]string{}
+	for trial := 0; trial < 40; trial++ {
+		x := make(decompress.EdgeSet)
+		key := ""
+		for e := 0; e < g.M(); e++ {
+			if rng.Intn(2) == 0 {
+				x[e] = true
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		advice, err := decompress.CubicTwoBit{}.Encode(g, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := ""
+		for _, s := range advice {
+			enc += s.String()
+		}
+		if prev, ok := seen[enc]; ok && prev != key {
+			t.Fatalf("two subsets %s and %s share encoding %s", prev, key, enc)
+		}
+		seen[enc] = key
+	}
+}

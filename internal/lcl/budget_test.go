@@ -1,0 +1,83 @@
+package lcl
+
+import (
+	"testing"
+
+	"localadvice/internal/graph"
+)
+
+func allNodes(g *graph.Graph) []int {
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestSolveBudgetExhaustion(t *testing.T) {
+	// 2-coloring an odd cycle is unsatisfiable; with a tiny budget the
+	// search must give up quickly instead of refuting exhaustively.
+	g := graph.Cycle(15)
+	if _, ok := SolveBudget(Coloring{K: 2}, g, NewSolution(g), allNodes(g), 5); ok {
+		t.Error("unsatisfiable instance solved under budget")
+	}
+}
+
+func TestSolveBudgetZeroMeansUnbounded(t *testing.T) {
+	g := graph.Cycle(7)
+	sol, ok := SolveBudget(Coloring{K: 3}, g, NewSolution(g), allNodes(g), 0)
+	if !ok {
+		t.Fatal("unbounded search failed on a satisfiable instance")
+	}
+	if err := Verify(Coloring{K: 3}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBudgetFixedConflictFastRefusal(t *testing.T) {
+	// Two adjacent nodes fixed to the same color: the pre-check must refuse
+	// before any search happens, even with a huge variable space.
+	g := graph.Path(40)
+	partial := NewSolution(g)
+	partial.Node[10], partial.Node[11] = 2, 2
+	if _, ok := SolveBudget(Coloring{K: 3}, g, partial, allNodes(g), 10); ok {
+		t.Error("fixed-fixed conflict not refused")
+	}
+}
+
+func TestSolveConstrainedChecksOnlyGivenNodes(t *testing.T) {
+	// A path where one end has a fixed conflict, but the conflicting nodes
+	// are NOT check nodes: the solver may still complete the rest.
+	g := graph.Path(6)
+	partial := NewSolution(g)
+	partial.Node[0], partial.Node[1] = 1, 1 // conflict outside checkNodes
+	sol, ok := SolveConstrained(Coloring{K: 3}, g, partial, []int{3, 4, 5})
+	if !ok {
+		t.Fatal("completion failed despite unchecked conflict")
+	}
+	// Nodes 3..5 proper among themselves and their neighbors.
+	for _, v := range []int{3, 4, 5} {
+		if err := (Coloring{K: 3}).CheckNode(g, v, sol); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSolveDeterministicAcrossIDOrder(t *testing.T) {
+	// Same graph, same IDs: identical completions; the variable order is
+	// by ID, so relabeling indices while keeping IDs must not matter.
+	g1 := graph.Cycle(8)
+	s1, ok := Solve(Coloring{K: 3}, g1, NewSolution(g1))
+	if !ok {
+		t.Fatal("unsolved")
+	}
+	s2, ok := Solve(Coloring{K: 3}, g1.Clone(), NewSolution(g1))
+	if !ok {
+		t.Fatal("unsolved")
+	}
+	for v := range s1.Node {
+		if s1.Node[v] != s2.Node[v] {
+			t.Fatal("nondeterministic completion")
+		}
+	}
+}

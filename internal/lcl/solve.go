@@ -1,0 +1,247 @@
+package lcl
+
+import (
+	"fmt"
+	"sort"
+
+	"localadvice/internal/graph"
+)
+
+// Solve completes a partial solution for p on g by exhaustive backtracking,
+// or reports that no completion exists. Labels already set in partial are
+// kept. This is the centralized brute force used (a) inside clusters by the
+// Section 4 schema, where cluster sizes are bounded, and (b) by tests as a
+// ground-truth oracle. Its running time is exponential in the number of
+// unset labels; callers are responsible for keeping instances small.
+func Solve(p Problem, g *graph.Graph, partial *Solution) (*Solution, bool) {
+	all := make([]int, g.N())
+	for v := range all {
+		all[v] = v
+	}
+	return SolveConstrained(p, g, partial, all)
+}
+
+// SolveConstrained is Solve with the final verification (and the pruning
+// during search) restricted to the constraints centered at checkNodes. The
+// Section 4 decoder uses it to complete a cluster whose boundary strip is
+// fixed: constraints of strip nodes whose balls leave the visible region
+// are the responsibility of neighboring clusters.
+//
+// The search is deterministic as a function of the graph's identifiers and
+// the partial solution: variables are processed in increasing ID order
+// (edges by their sorted endpoint-ID pair) and alphabets in declaration
+// order, so every LOCAL view that runs it on the same cluster reaches the
+// same completion.
+func SolveConstrained(p Problem, g *graph.Graph, partial *Solution, checkNodes []int) (*Solution, bool) {
+	return SolveBudget(p, g, partial, checkNodes, 0)
+}
+
+// SolveBudget is SolveConstrained with a cap on the number of backtracking
+// steps (label assignments); maxSteps <= 0 means unbounded. Exhausting the
+// budget reports "no solution found", which callers like the Section 4
+// decoder treat as a rejection — honest instances complete in a number of
+// steps linear-ish in the cluster size, while adversarially corrupted
+// advice can embed unsatisfiable subinstances whose exhaustive refutation
+// would be exponential.
+func SolveBudget(p Problem, g *graph.Graph, partial *Solution, checkNodes []int, maxSteps int) (*Solution, bool) {
+	sol := partial.Clone()
+	// Fast refutation of conflicts already present among the fixed labels:
+	// without this, a fixed-fixed violation would only surface at the final
+	// verification, after the whole search space was enumerated.
+	for _, v := range checkNodes {
+		if p.CheckNode(g, v, sol) != nil {
+			return nil, false
+		}
+	}
+	type variable struct {
+		isEdge bool
+		index  int
+	}
+	var vars []variable
+	if p.NodeAlphabet() != nil {
+		order := make([]int, g.N())
+		for v := range order {
+			order[v] = v
+		}
+		sort.Slice(order, func(a, b int) bool { return g.ID(order[a]) < g.ID(order[b]) })
+		for _, v := range order {
+			if sol.Node[v] == Unset {
+				vars = append(vars, variable{isEdge: false, index: v})
+			}
+		}
+	}
+	if p.EdgeAlphabet() != nil {
+		order := make([]int, g.M())
+		for e := range order {
+			order[e] = e
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ea, eb := g.Edge(order[a]), g.Edge(order[b])
+			loA, hiA := sortedIDs(g, ea)
+			loB, hiB := sortedIDs(g, eb)
+			if loA != loB {
+				return loA < loB
+			}
+			return hiA < hiB
+		})
+		for _, e := range order {
+			if sol.Edge[e] == Unset {
+				vars = append(vars, variable{isEdge: true, index: e})
+			}
+		}
+	}
+
+	check := make(map[int]bool, len(checkNodes))
+	for _, v := range checkNodes {
+		check[v] = true
+	}
+
+	r := p.Radius()
+	// Check nodes whose constraint may be affected by a variable:
+	// everything within distance r of the variable's location.
+	affected := make([][]int, len(vars))
+	for i, va := range vars {
+		seen := map[int]bool{}
+		if va.isEdge {
+			ed := g.Edge(va.index)
+			for _, v := range g.Ball(ed.U, r) {
+				seen[v] = true
+			}
+			for _, v := range g.Ball(ed.V, r) {
+				seen[v] = true
+			}
+		} else {
+			for _, v := range g.Ball(va.index, r) {
+				seen[v] = true
+			}
+		}
+		for v := range seen {
+			if check[v] {
+				affected[i] = append(affected[i], v)
+			}
+		}
+		sort.Ints(affected[i])
+	}
+
+	verify := func() bool {
+		for _, v := range checkNodes {
+			if p.CheckNode(g, v, sol) != nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	steps := 0
+	var backtrack func(i int) bool
+	backtrack = func(i int) bool {
+		if i == len(vars) {
+			return verify()
+		}
+		va := vars[i]
+		var domain []int
+		if va.isEdge {
+			domain = p.EdgeAlphabet()
+		} else {
+			domain = p.NodeAlphabet()
+		}
+		for _, label := range domain {
+			steps++
+			if maxSteps > 0 && steps > maxSteps {
+				return false
+			}
+			if va.isEdge {
+				sol.Edge[va.index] = label
+			} else {
+				sol.Node[va.index] = label
+			}
+			ok := true
+			for _, v := range affected[i] {
+				if p.CheckNode(g, v, sol) != nil {
+					ok = false
+					break
+				}
+			}
+			if ok && backtrack(i+1) {
+				return true
+			}
+		}
+		if va.isEdge {
+			sol.Edge[va.index] = Unset
+		} else {
+			sol.Node[va.index] = Unset
+		}
+		return false
+	}
+	if !backtrack(0) {
+		return nil, false
+	}
+	return sol, true
+}
+
+func sortedIDs(g *graph.Graph, e graph.Edge) (lo, hi int64) {
+	lo, hi = g.ID(e.U), g.ID(e.V)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+// Solvable reports whether p has any solution on g extending partial.
+func Solvable(p Problem, g *graph.Graph, partial *Solution) bool {
+	_, ok := Solve(p, g, partial)
+	return ok
+}
+
+// GreedyColoring returns a proper coloring of g with at most Δ+1 colors
+// (labels 1..Δ+1), assigning nodes in increasing ID order the smallest color
+// not used by an already-colored neighbor. This is the "greedy coloring"
+// every schema in the paper takes as the canonical offline solution.
+func GreedyColoring(g *graph.Graph) []int {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by ID so the result depends only on IDs, not on indices.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.ID(order[j]) < g.ID(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	colors := make([]int, g.N())
+	for _, v := range order {
+		used := make(map[int]bool, g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			if colors[w] != 0 {
+				used[colors[w]] = true
+			}
+		}
+		c := 1
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// ColoringSolution wraps a per-node color slice into a Solution.
+func ColoringSolution(g *graph.Graph, colors []int) (*Solution, error) {
+	if len(colors) != g.N() {
+		return nil, fmt.Errorf("lcl: %d colors for %d nodes", len(colors), g.N())
+	}
+	sol := NewSolution(g)
+	copy(sol.Node, colors)
+	return sol, nil
+}
+
+// OrientationSolution wraps a per-edge direction slice (TowardV/TowardU)
+// into a Solution.
+func OrientationSolution(g *graph.Graph, dirs []int) (*Solution, error) {
+	if len(dirs) != g.M() {
+		return nil, fmt.Errorf("lcl: %d directions for %d edges", len(dirs), g.M())
+	}
+	sol := NewSolution(g)
+	copy(sol.Edge, dirs)
+	return sol, nil
+}

@@ -1,0 +1,167 @@
+package lll
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// kSATInstance builds a random k-SAT instance with n variables and m
+// clauses, each clause over k distinct variables with random polarities.
+func kSATInstance(n, m, k int, rng *rand.Rand) (*Instance, [][]int, [][]bool) {
+	clauseVars := make([][]int, m)
+	clauseNeg := make([][]bool, m)
+	for c := 0; c < m; c++ {
+		perm := rng.Perm(n)[:k]
+		neg := make([]bool, k)
+		for i := range neg {
+			neg[i] = rng.Intn(2) == 0
+		}
+		clauseVars[c] = perm
+		clauseNeg[c] = neg
+	}
+	in := &Instance{
+		NumVars:    n,
+		DomainSize: func(int) int { return 2 },
+		NumEvents:  m,
+		Vars:       func(e int) []int { return clauseVars[e] },
+		Bad: func(e int, a []int) bool {
+			// Bad = clause unsatisfied: every literal false.
+			for i, v := range clauseVars[e] {
+				val := a[v] == 1
+				if clauseNeg[e][i] {
+					val = !val
+				}
+				if val {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	return in, clauseVars, clauseNeg
+}
+
+func TestSolveKSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 7-SAT with each variable in few clauses satisfies the LLL condition
+	// (p = 2^-7, d small); Moser-Tardos must find a satisfying assignment.
+	in, _, _ := kSATInstance(60, 40, 7, rng)
+	res, err := Solve(in, rng, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < in.NumEvents; e++ {
+		if in.Bad(e, res.Assignment) {
+			t.Fatalf("event %d still bad", e)
+		}
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	in := &Instance{
+		NumVars:    3,
+		DomainSize: func(int) int { return 4 },
+		NumEvents:  0,
+		Vars:       func(int) []int { return nil },
+		Bad:        func(int, []int) bool { return false },
+	}
+	res, err := Solve(in, rand.New(rand.NewSource(2)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resamplings != 0 {
+		t.Errorf("resamplings = %d, want 0", res.Resamplings)
+	}
+	if len(res.Assignment) != 3 {
+		t.Errorf("assignment length %d", len(res.Assignment))
+	}
+}
+
+func TestSolveUnsatisfiableHitsCap(t *testing.T) {
+	// An always-bad event can never be fixed.
+	in := &Instance{
+		NumVars:    1,
+		DomainSize: func(int) int { return 2 },
+		NumEvents:  1,
+		Vars:       func(int) []int { return []int{0} },
+		Bad:        func(int, []int) bool { return true },
+	}
+	if _, err := Solve(in, rand.New(rand.NewSource(3)), 50); err == nil {
+		t.Error("unsatisfiable instance solved")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   *Instance
+	}{
+		{"nil callbacks", &Instance{NumVars: 1}},
+		{"empty domain", &Instance{
+			NumVars:    1,
+			DomainSize: func(int) int { return 0 },
+			Vars:       func(int) []int { return nil },
+			Bad:        func(int, []int) bool { return false },
+		}},
+		{"var out of range", &Instance{
+			NumVars:    1,
+			NumEvents:  1,
+			DomainSize: func(int) int { return 2 },
+			Vars:       func(int) []int { return []int{5} },
+			Bad:        func(int, []int) bool { return false },
+		}},
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Solve(tt.in, rng, 10); err == nil {
+				t.Error("invalid instance accepted")
+			}
+		})
+	}
+}
+
+func TestSymmetricCondition(t *testing.T) {
+	if !SymmetricConditionHolds(0.01, 10) {
+		t.Error("e*0.01*11 <= 1 should hold")
+	}
+	if SymmetricConditionHolds(0.5, 10) {
+		t.Error("e*0.5*11 <= 1 should not hold")
+	}
+}
+
+func TestDependencyDegree(t *testing.T) {
+	vars := [][]int{{0, 1}, {1, 2}, {3}}
+	in := &Instance{
+		NumVars:    4,
+		DomainSize: func(int) int { return 2 },
+		NumEvents:  3,
+		Vars:       func(e int) []int { return vars[e] },
+		Bad:        func(int, []int) bool { return false },
+	}
+	if d := DependencyDegree(in); d != 1 {
+		t.Errorf("DependencyDegree = %d, want 1", d)
+	}
+}
+
+func TestSolveRespectsDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sizes := []int{2, 3, 5}
+	in := &Instance{
+		NumVars:    3,
+		DomainSize: func(v int) int { return sizes[v] },
+		NumEvents:  1,
+		Vars:       func(int) []int { return []int{0, 1, 2} },
+		// Bad unless all distinct-ish: forces some resampling.
+		Bad: func(_ int, a []int) bool { return a[0] == 1 && a[1] == 1 },
+	}
+	res, err := Solve(in, rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, val := range res.Assignment {
+		if val < 0 || val >= sizes[v] {
+			t.Errorf("variable %d = %d outside domain %d", v, val, sizes[v])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package local
+
+import (
+	"fmt"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+// RunSequential executes a message protocol with a single-threaded,
+// perfectly deterministic round loop — the same semantics as Run (the
+// goroutine engine), without concurrency. It exists for three reasons:
+// reproducible debugging of protocols, a cross-check that the goroutine
+// engine's synchronization is faithful (the engines-agree tests), and fast
+// execution when goroutine-per-node overhead dominates.
+func RunSequential(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
+	n := g.N()
+	delta := g.MaxDegree()
+
+	machines := make([]Machine, n)
+	for v := 0; v < n; v++ {
+		var adv bitstr.String
+		if v < len(advice) {
+			adv = advice[v]
+		}
+		machines[v] = protocol.NewMachine(NodeInfo{
+			ID:     g.ID(v),
+			Degree: g.Degree(v),
+			N:      n,
+			Delta:  delta,
+			Advice: adv,
+		})
+	}
+
+	// portAt[v][i]: the port of v in the adjacency list of its i-th
+	// neighbor (same wiring as the goroutine engine).
+	portAt := make([][]int, n)
+	for v := 0; v < n; v++ {
+		portAt[v] = make([]int, g.Degree(v))
+		for i, w := range g.Neighbors(v) {
+			for j, u := range g.Neighbors(w) {
+				if u == v && g.IncidentEdges(w)[j] == g.IncidentEdges(v)[i] {
+					portAt[v][i] = j
+				}
+			}
+		}
+	}
+
+	inboxes := make([][]Message, n)
+	nextInboxes := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inboxes[v] = make([]Message, g.Degree(v))
+		nextInboxes[v] = make([]Message, g.Degree(v))
+	}
+	done := make([]bool, n)
+	doneAt := make([]int, n)
+	outputs := make([]any, n)
+	msgCount := 0
+
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, Stats{}, fmt.Errorf("local: sequential engine exceeded %d rounds", maxRounds)
+		}
+		allDone := true
+		for v := 0; v < n; v++ {
+			var outbox []Message
+			if !done[v] {
+				outbox, done[v] = machines[v].Round(round, inboxes[v])
+				if done[v] {
+					doneAt[v] = round
+					outputs[v] = machines[v].Output()
+				}
+			}
+			if !done[v] {
+				allDone = false
+			}
+			for i := 0; i < g.Degree(v); i++ {
+				var m Message
+				if i < len(outbox) {
+					m = outbox[i]
+				}
+				if m != nil {
+					msgCount++
+				}
+				w := g.Neighbors(v)[i]
+				nextInboxes[w][portAt[v][i]] = m
+			}
+		}
+		inboxes, nextInboxes = nextInboxes, inboxes
+		for v := range nextInboxes {
+			for i := range nextInboxes[v] {
+				nextInboxes[v][i] = nil
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	rounds := 0
+	for _, r := range doneAt {
+		if r > rounds {
+			rounds = r
+		}
+	}
+	return outputs, Stats{Rounds: rounds, Messages: msgCount}, nil
+}

@@ -1,0 +1,48 @@
+package orient
+
+import (
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// NoAdviceOrientation is the natural zero-advice distributed algorithm for
+// balanced orientation: every node walks each of its trails to the end (or
+// all the way around a cycle) and applies the deterministic ID rule. It
+// always succeeds, but its round count is governed by the longest trail —
+// Θ(n) on a single cycle — which is exactly the paper's point that balanced
+// orientation "requires Ω(n) rounds without advice" (Section 5). The
+// returned stats carry the rounds such an algorithm needs: enough for every
+// node to see its whole trail.
+func NoAdviceOrientation(g *graph.Graph) (*lcl.Solution, local.Stats) {
+	dec := Decompose(g)
+	dirs := make([]int, g.M())
+	maxLen := 0
+	for i := range dec.Trails {
+		t := &dec.Trails[i]
+		OrientTrail(g, t, CanonicalDirection(g, t), dirs)
+		if t.Len() > maxLen {
+			maxLen = t.Len()
+		}
+	}
+	sol, err := lcl.OrientationSolution(g, dirs)
+	if err != nil {
+		panic(err) // dirs covers every edge by construction
+	}
+	// A node in the middle of a trail of length L must gather ⌈L/2⌉ hops in
+	// both directions to see the whole trail and apply the ID rule; nodes
+	// at the ends need up to L. Report the worst case over nodes: for
+	// closed trails every node needs ⌈L/2⌉, for open trails up to L.
+	rounds := 0
+	for i := range dec.Trails {
+		t := &dec.Trails[i]
+		need := t.Len()
+		if t.Closed {
+			need = (t.Len() + 1) / 2
+		}
+		if need > rounds {
+			rounds = need
+		}
+	}
+	return sol, local.Stats{Rounds: rounds}
+}

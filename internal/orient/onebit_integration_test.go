@@ -1,0 +1,72 @@
+package orient
+
+import (
+	"os"
+	"testing"
+
+	"localadvice/internal/core"
+	"localadvice/internal/lcl"
+
+	"localadvice/internal/graph"
+)
+
+// TestOrientationAsUniformOneBit is the Corollary 5.2 end-to-end statement:
+// the balanced-orientation schema — whose natural advice sits on ADJACENT
+// marked pairs — becomes a uniform one-bit-per-node schema through the
+// grouped Lemma 2 conversion, and the composed decoder still produces a
+// valid orientation.
+func TestOrientationAsUniformOneBit(t *testing.T) {
+	// n is a multiple of the spacing so the last marked pair does not wrap
+	// around close to the first.
+	g := graph.Cycle(1040)
+	s := Schema{P: Params{MarkSpacing: 260, MarkWindow: 15}}
+	codec := core.GroupedOneBitCodec{Radius: 120, GroupRadius: 2}
+	schema := core.AsGroupedOneBitSchema(s, codec)
+
+	sol, advice, stats, err := core.RunAndVerify(schema, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, beta := core.Classify(advice); kind != core.UniformFixedLength || beta != 1 {
+		t.Fatalf("advice %v/%d, want uniform 1-bit", kind, beta)
+	}
+	ratio, err := core.Sparsity(advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 0.5 {
+		t.Errorf("ones ratio %.3f suspiciously dense", ratio)
+	}
+	if err := lcl.Verify(lcl.BalancedOrientation{}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds <= codec.Radius {
+		t.Errorf("rounds %d should include both codec and schema decoding", stats.Rounds)
+	}
+}
+
+// TestSplittingPipelineAsUniformOneBit pushes the full Lemma 1 + Lemma 2
+// composition: the three-stage splitting pipeline (2-coloring, orientation,
+// combine) merged into tagged variable-length advice and then converted to
+// uniform one-bit advice. The tagged payloads make the path encodings an
+// order of magnitude longer, so the instance must be large; skipped in
+// -short runs.
+func TestSplittingPipelineAsUniformOneBit(t *testing.T) {
+	if testing.Short() || os.Getenv("LOCALADVICE_HEAVY") == "" {
+		t.Skip("heavy integration test; set LOCALADVICE_HEAVY=1 to run")
+	}
+	g := graph.Cycle(6000)
+	p := NewSplittingPipeline(1500, Params{MarkSpacing: 1500, MarkWindow: 20})
+	codec := core.GroupedOneBitCodec{Radius: 700, GroupRadius: 2}
+	schema := core.AsGroupedOneBitSchema(p, codec)
+	sol, advice, _, err := core.RunAndVerify(schema, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, beta := core.Classify(advice); kind != core.UniformFixedLength || beta != 1 {
+		t.Fatalf("advice %v/%d, want uniform 1-bit", kind, beta)
+	}
+	if err := lcl.Verify(lcl.Splitting{}, g, sol); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package orient
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func bipartiteEvenGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(33))
+	bip4, err := graph.RandomBipartiteRegular(20, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bip2, err := graph.RandomBipartiteRegular(30, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"cycle40":  graph.Cycle(40),
+		"torus4x6": graph.Torus2D(4, 6),
+		"bip4reg":  bip4,
+		"bip2reg":  bip2,
+	}
+}
+
+func TestTwoColoringStage(t *testing.T) {
+	for _, cover := range []int{2, 5, 10} {
+		stage := TwoColoringStage{CoverRadius: cover}
+		for name, g := range bipartiteEvenGraphs(t) {
+			va, err := stage.EncodeVar(g, nil)
+			if err != nil {
+				t.Fatalf("%s cover %d: %v", name, cover, err)
+			}
+			sol, stats, err := stage.DecodeVar(g, va, nil)
+			if err != nil {
+				t.Fatalf("%s cover %d: %v", name, cover, err)
+			}
+			if err := lcl.Verify(lcl.Coloring{K: 2}, g, sol); err != nil {
+				t.Errorf("%s cover %d: %v", name, cover, err)
+			}
+			if stats.Rounds != cover {
+				t.Errorf("%s: rounds %d, want %d", name, stats.Rounds, cover)
+			}
+		}
+	}
+}
+
+func TestTwoColoringStageSparsityImproves(t *testing.T) {
+	g := graph.Cycle(200)
+	prev := -1
+	for _, cover := range []int{2, 8, 20} {
+		va, err := TwoColoringStage{CoverRadius: cover}.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != -1 && len(va) >= prev {
+			t.Errorf("cover %d: %d holders, want fewer than %d", cover, len(va), prev)
+		}
+		prev = len(va)
+	}
+}
+
+func TestTwoColoringStageRejects(t *testing.T) {
+	if _, err := (TwoColoringStage{CoverRadius: 3}).EncodeVar(graph.Cycle(5), nil); err == nil {
+		t.Error("odd cycle accepted")
+	}
+	if _, err := (TwoColoringStage{CoverRadius: 0}).EncodeVar(graph.Cycle(4), nil); err == nil {
+		t.Error("zero cover radius accepted")
+	}
+}
+
+func TestSplittingPipeline(t *testing.T) {
+	p := NewSplittingPipeline(6, DefaultParams())
+	for name, g := range bipartiteEvenGraphs(t) {
+		va, err := p.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sol, stats, err := p.DecodeVar(g, va, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := lcl.Verify(lcl.Splitting{}, g, sol); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if stats.Rounds <= 0 {
+			t.Errorf("%s: no rounds accounted", name)
+		}
+	}
+}
+
+func TestSplittingStageRequiresOracles(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, _, err := (SplittingStage{}).DecodeVar(g, core.VarAdvice{}, nil); err == nil {
+		t.Error("missing oracles accepted")
+	}
+}
+
+func TestSplittingHalvesDegrees(t *testing.T) {
+	// Each color class of a splitting must induce a d/2-regular subgraph on
+	// a d-regular graph.
+	g := graph.Torus2D(6, 6)
+	p := NewSplittingPipeline(5, DefaultParams())
+	va, err := p.EncodeVar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := p.DecodeVar(g, va, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		red := 0
+		for _, e := range g.IncidentEdges(v) {
+			if sol.Edge[e] == 1 {
+				red++
+			}
+		}
+		if red != g.Degree(v)/2 {
+			t.Fatalf("node %d has %d red edges of %d", v, red, g.Degree(v))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package orient
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+func TestTwoColoringMessageDecoderAgreesWithViewDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	bip, err := graph.RandomBipartiteRegular(25, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"cycle60":  graph.Cycle(60),
+		"torus4x8": graph.Torus2D(4, 8),
+		"grid6x7":  graph.Grid2D(6, 7),
+		"bip3reg":  bip,
+		"path40":   graph.Path(40),
+	}
+	for _, cover := range []int{3, 7} {
+		stage := TwoColoringStage{CoverRadius: cover}
+		for name, g := range graphs {
+			va, err := stage.EncodeVar(g, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			viewSol, _, err := stage.DecodeVar(g, va, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			msgSol, stats, err := stage.DecodeVarMessage(g, va, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for v := range viewSol.Node {
+				if viewSol.Node[v] != msgSol.Node[v] {
+					t.Fatalf("%s cover %d: node %d: view %d, message %d",
+						name, cover, v, viewSol.Node[v], msgSol.Node[v])
+				}
+			}
+			if err := lcl.Verify(lcl.Coloring{K: 2}, g, msgSol); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if stats.Rounds > cover+2 {
+				t.Errorf("%s: message decoder used %d rounds, want <= %d", name, stats.Rounds, cover+2)
+			}
+		}
+	}
+}
+
+func TestTwoColoringMessageDecoderNoMarkers(t *testing.T) {
+	g := graph.Cycle(30)
+	stage := TwoColoringStage{CoverRadius: 3}
+	// Empty advice: every node must report the missing marker.
+	if _, _, err := stage.DecodeVarMessage(g, nil, nil); err == nil {
+		t.Error("decode succeeded without any marker")
+	}
+}

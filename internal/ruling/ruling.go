@@ -1,0 +1,230 @@
+// Package ruling provides maximal independent sets, (α, β)-ruling sets, and
+// distance-k colorings — the clustering primitives behind the advice schemas
+// of Sections 4, 6 and 7.
+//
+// An (α, β)-ruling set (Section 3.1) is a set S of nodes at pairwise
+// distance >= α such that every node outside S has a node of S within
+// distance β. An MIS is exactly a (2, 1)-ruling set. All constructions here
+// are the greedy ones the paper appeals to ("such a set can be computed
+// greedily"), made deterministic by processing nodes in increasing ID order,
+// so their output depends only on the graph and its identifiers.
+package ruling
+
+import (
+	"fmt"
+	"sort"
+
+	"localadvice/internal/graph"
+)
+
+// byID returns the node indices of g sorted by increasing identifier.
+func byID(g *graph.Graph) []int {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.ID(order[a]) < g.ID(order[b]) })
+	return order
+}
+
+// MIS returns a maximal independent set of g, greedily by increasing ID.
+func MIS(g *graph.Graph) []int {
+	inSet := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	var out []int
+	for _, v := range byID(g) {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		out = append(out, v)
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	return out
+}
+
+// IsIndependent reports whether no two nodes of s are adjacent in g.
+func IsIndependent(g *graph.Graph, s []int) bool {
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	for _, v := range s {
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether s is an MIS of g.
+func IsMaximalIndependent(g *graph.Graph, s []int) bool {
+	if !IsIndependent(g, s) {
+		return false
+	}
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// RulingSet returns an (alpha, beta)-ruling set of g for beta >= alpha-1,
+// built greedily: nodes are taken in increasing ID order and added when no
+// already-chosen node is within distance alpha-1. The greedy construction
+// achieves covering radius alpha-1 <= beta.
+func RulingSet(g *graph.Graph, alpha, beta int) ([]int, error) {
+	if alpha < 1 {
+		return nil, fmt.Errorf("ruling: alpha must be >= 1, got %d", alpha)
+	}
+	if beta < alpha-1 {
+		return nil, fmt.Errorf("ruling: greedy construction needs beta >= alpha-1, got alpha=%d beta=%d", alpha, beta)
+	}
+	// coverDist[v] < alpha-? We track distance to the nearest chosen node up
+	// to alpha-1 via repeated truncated BFS from each chosen node.
+	nearest := make([]int, g.N())
+	for i := range nearest {
+		nearest[i] = -1 // unknown / far
+	}
+	var out []int
+	for _, v := range byID(g) {
+		if nearest[v] != -1 {
+			continue
+		}
+		out = append(out, v)
+		// Mark everything within distance alpha-1 as covered.
+		type qe struct{ node, d int }
+		queue := []qe{{v, 0}}
+		seen := map[int]bool{v: true}
+		nearest[v] = 0
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.d == alpha-1 {
+				continue
+			}
+			for _, w := range g.Neighbors(cur.node) {
+				if !seen[w] {
+					seen[w] = true
+					nearest[w] = cur.d + 1
+					queue = append(queue, qe{w, cur.d + 1})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckRulingSet verifies that s is an (alpha, beta)-ruling set of g,
+// checking both the pairwise-distance and the covering condition (within
+// each connected component).
+func CheckRulingSet(g *graph.Graph, s []int, alpha, beta int) error {
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	for _, v := range s {
+		dist := g.BFSFrom(v)
+		for _, w := range s {
+			if w != v && dist[w] != -1 && dist[w] < alpha {
+				return fmt.Errorf("ruling: nodes %d and %d at distance %d < alpha=%d", v, w, dist[w], alpha)
+			}
+		}
+	}
+	// Covering: every node must have some s-node within beta, unless its
+	// whole component has no s-node (impossible for nonempty components
+	// produced by the greedy algorithm, but check defensively).
+	covered := make([]bool, g.N())
+	for _, v := range s {
+		for _, w := range g.Ball(v, beta) {
+			covered[w] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !covered[v] {
+			return fmt.Errorf("ruling: node %d has no ruling-set node within beta=%d", v, beta)
+		}
+	}
+	return nil
+}
+
+// DistanceColoring returns a coloring (values 1..k for some k) such that any
+// two distinct nodes with the same color are at distance > d in g; i.e., a
+// proper coloring of the power graph G^d, found greedily by increasing ID.
+// It returns the coloring and the number of colors used.
+func DistanceColoring(g *graph.Graph, d int) ([]int, int) {
+	colors := make([]int, g.N())
+	maxColor := 0
+	for _, v := range byID(g) {
+		used := map[int]bool{}
+		for _, w := range g.Ball(v, d) {
+			if w != v && colors[w] != 0 {
+				used[colors[w]] = true
+			}
+		}
+		c := 1
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return colors, maxColor
+}
+
+// CheckDistanceColoring verifies that same-colored nodes are at distance > d.
+func CheckDistanceColoring(g *graph.Graph, colors []int, d int) error {
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Ball(v, d) {
+			if w != v && colors[w] == colors[v] {
+				return fmt.Errorf("ruling: nodes %d and %d share color %d within distance %d", v, w, colors[v], d)
+			}
+		}
+	}
+	return nil
+}
+
+// IndependentSubset returns a maximal subset of candidates that is an
+// independent set in g^spacing (pairwise distance > spacing... precisely:
+// pairwise distance >= spacing+1), chosen greedily by increasing ID. Used
+// where schemas need "an α-independent set inside Z".
+func IndependentSubset(g *graph.Graph, candidates []int, spacing int) []int {
+	sorted := append([]int(nil), candidates...)
+	sort.Slice(sorted, func(a, b int) bool { return g.ID(sorted[a]) < g.ID(sorted[b]) })
+	var out []int
+	for _, v := range sorted {
+		ok := true
+		dist := g.BFSFrom(v)
+		for _, u := range out {
+			if dist[u] != -1 && dist[u] <= spacing {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package ruling
+
+import (
+	"math/rand"
+	"testing"
+
+	"localadvice/internal/graph"
+)
+
+func randomGraphs(seed int64, count int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		g := graph.RandomGNP(20+rng.Intn(20), 0.15, rng)
+		graph.AssignPermutedIDs(g, rng)
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestMISOnKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		size int // expected greedy MIS size (IDs sequential)
+	}{
+		{"path4", graph.Path(4), 2},
+		{"cycle5", graph.Cycle(5), 2},
+		{"star5", graph.Star(5), 1}, // center has ID 1, chosen first
+		{"k4", graph.Complete(4), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := MIS(tt.g)
+			if !IsMaximalIndependent(tt.g, s) {
+				t.Fatalf("MIS invalid: %v", s)
+			}
+			if len(s) != tt.size {
+				t.Errorf("|MIS| = %d, want %d", len(s), tt.size)
+			}
+		})
+	}
+}
+
+func TestMISRandom(t *testing.T) {
+	for i, g := range randomGraphs(1, 10) {
+		if s := MIS(g); !IsMaximalIndependent(g, s) {
+			t.Errorf("graph %d: invalid MIS", i)
+		}
+	}
+}
+
+func TestMISIsRulingSet(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	s := MIS(g)
+	if err := CheckRulingSet(g, s, 2, 1); err != nil {
+		t.Errorf("MIS is not a (2,1)-ruling set: %v", err)
+	}
+}
+
+func TestRulingSetParameters(t *testing.T) {
+	g := graph.Cycle(30)
+	for _, alpha := range []int{2, 3, 5, 8} {
+		s, err := RulingSet(g, alpha, alpha-1)
+		if err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		if err := CheckRulingSet(g, s, alpha, alpha-1); err != nil {
+			t.Errorf("alpha=%d: %v", alpha, err)
+		}
+		if len(s) == 0 {
+			t.Errorf("alpha=%d: empty ruling set", alpha)
+		}
+	}
+}
+
+func TestRulingSetRandom(t *testing.T) {
+	for i, g := range randomGraphs(2, 8) {
+		s, err := RulingSet(g, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckRulingSet(g, s, 3, 2); err != nil {
+			t.Errorf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestRulingSetArgErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := RulingSet(g, 0, 5); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := RulingSet(g, 4, 2); err == nil {
+		t.Error("beta < alpha-1 accepted")
+	}
+}
+
+func TestCheckRulingSetRejects(t *testing.T) {
+	g := graph.Path(6)
+	// Nodes 0 and 1 are adjacent: violates alpha=2.
+	if err := CheckRulingSet(g, []int{0, 1, 5}, 2, 1); err == nil {
+		t.Error("adjacent ruling nodes accepted")
+	}
+	// Node 5 uncovered with beta=1 if set={0}.
+	if err := CheckRulingSet(g, []int{0}, 2, 1); err == nil {
+		t.Error("uncovered node accepted")
+	}
+}
+
+func TestDistanceColoring(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		for i, g := range randomGraphs(int64(3+d), 5) {
+			colors, k := DistanceColoring(g, d)
+			if err := CheckDistanceColoring(g, colors, d); err != nil {
+				t.Errorf("d=%d graph %d: %v", d, i, err)
+			}
+			if k < 1 {
+				t.Errorf("d=%d graph %d: no colors", d, i)
+			}
+			// Color count is at most the max ball size (greedy bound).
+			maxBall := 0
+			for v := 0; v < g.N(); v++ {
+				if b := len(g.Ball(v, d)); b > maxBall {
+					maxBall = b
+				}
+			}
+			if k > maxBall {
+				t.Errorf("d=%d graph %d: %d colors exceeds greedy bound %d", d, i, k, maxBall)
+			}
+		}
+	}
+}
+
+func TestDistanceColoringOnCycle(t *testing.T) {
+	g := graph.Cycle(12)
+	colors, _ := DistanceColoring(g, 3)
+	if err := CheckDistanceColoring(g, colors, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentSubsetSpacing(t *testing.T) {
+	g := graph.Path(20)
+	all := make([]int, 20)
+	for i := range all {
+		all[i] = i
+	}
+	s := IndependentSubset(g, all, 4)
+	for _, u := range s {
+		for _, v := range s {
+			if u != v && g.Dist(u, v) <= 4 {
+				t.Fatalf("nodes %d,%d too close", u, v)
+			}
+		}
+	}
+	if len(s) < 3 {
+		t.Errorf("subset too small: %v", s)
+	}
+}
+
+func TestGreedyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomGNP(25, 0.2, rng)
+	graph.AssignPermutedIDs(g, rng)
+	a := MIS(g)
+	b := MIS(g.Clone())
+	if len(a) != len(b) {
+		t.Fatal("MIS not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MIS not deterministic")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package viz renders graphs, advice assignments and decoded solutions as
+// Graphviz DOT — the debugging lens for advice schemas: advice bits appear
+// as node fills, node labels as colors, and edge labels/orientations as
+// edge styling.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// Options selects what to overlay on the plain graph.
+type Options struct {
+	// Advice, when non-nil, annotates each node with its advice string and
+	// fills 1-bit holders.
+	Advice local.Advice
+	// Solution, when non-nil, colors nodes by node label and styles edges
+	// by edge label.
+	Solution *lcl.Solution
+	// EdgeStyle picks how edge labels render; EdgeAuto uses arrows when the
+	// labels look like orientations (exactly the TowardU/TowardV values)
+	// and colors otherwise. Splitting-style labelings share the 1/2 values
+	// with orientations, so callers rendering those should force EdgeColors.
+	EdgeStyle EdgeStyle
+	// Name is the DOT graph name; defaults to "G".
+	Name string
+}
+
+// EdgeStyle selects the rendering of edge labels.
+type EdgeStyle int
+
+const (
+	// EdgeAuto guesses between arrows and colors.
+	EdgeAuto EdgeStyle = iota
+	// EdgeArrows renders labels as edge directions.
+	EdgeArrows
+	// EdgeColors renders labels as edge colors.
+	EdgeColors
+)
+
+// palette maps small label values to fill colors; larger labels wrap.
+var palette = []string{
+	"#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5",
+	"#c49c94", "#f7b6d2", "#dbdb8d", "#9edae5", "#d9d9d9",
+}
+
+func fill(label int) string {
+	if label < 1 {
+		return "#ffffff"
+	}
+	return palette[(label-1)%len(palette)]
+}
+
+// WriteDOT renders g with the given overlays.
+func WriteDOT(w io.Writer, g *graph.Graph, opts Options) error {
+	bw := bufio.NewWriter(w)
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	directed := false
+	switch opts.EdgeStyle {
+	case EdgeArrows:
+		directed = true
+	case EdgeColors:
+		directed = false
+	default:
+		directed = opts.Solution != nil && hasOrientationLabels(opts.Solution)
+	}
+	kind, arrow := "graph", "--"
+	if directed {
+		kind, arrow = "digraph", "->"
+	}
+	fmt.Fprintf(bw, "%s %s {\n", kind, name)
+	fmt.Fprintf(bw, "  node [shape=circle, style=filled, fontsize=10];\n")
+
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprintf("%d", g.ID(v))
+		color := "#ffffff"
+		penwidth := 1.0
+		if opts.Solution != nil && v < len(opts.Solution.Node) && opts.Solution.Node[v] != lcl.Unset {
+			color = fill(opts.Solution.Node[v])
+			label += fmt.Sprintf("\\nc%d", opts.Solution.Node[v])
+		}
+		if opts.Advice != nil && v < len(opts.Advice) && opts.Advice[v].Len() > 0 {
+			label += fmt.Sprintf("\\n[%s]", opts.Advice[v])
+			if opts.Advice[v].Ones() > 0 {
+				penwidth = 3
+			}
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\", fillcolor=\"%s\", penwidth=%g];\n", v, label, color, penwidth)
+	}
+
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		from, to := ed.U, ed.V
+		attrs := ""
+		if opts.Solution != nil && e < len(opts.Solution.Edge) && opts.Solution.Edge[e] != lcl.Unset {
+			l := opts.Solution.Edge[e]
+			if directed {
+				if l == lcl.TowardU {
+					from, to = ed.V, ed.U
+				}
+			} else {
+				attrs = fmt.Sprintf(" [color=\"%s\", penwidth=2, label=\"%d\"]", fill(l), l)
+			}
+		}
+		fmt.Fprintf(bw, "  n%d %s n%d%s;\n", from, arrow, to, attrs)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// hasOrientationLabels reports whether the edge layer uses the orientation
+// alphabet exclusively (so arrows are the right rendering).
+func hasOrientationLabels(sol *lcl.Solution) bool {
+	any := false
+	for _, l := range sol.Edge {
+		switch l {
+		case lcl.Unset:
+		case lcl.TowardU, lcl.TowardV:
+			any = true
+		default:
+			return false
+		}
+	}
+	return any
+}

@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+	"localadvice/internal/orient"
+)
+
+func TestWriteDOTPlain(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, graph.Cycle(4), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", "n0 -- n1", "n0 [label=\"1\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "->") {
+		t.Error("undirected graph rendered with arrows")
+	}
+}
+
+func TestWriteDOTWithOrientation(t *testing.T) {
+	g := graph.Cycle(6)
+	sol := orient.Balanced(g)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, Options{Solution: sol}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Errorf("orientation not rendered as arrows:\n%s", out)
+	}
+}
+
+func TestWriteDOTWithColoring(t *testing.T) {
+	g := graph.Path(3)
+	sol := lcl.NewSolution(g)
+	sol.Node[0], sol.Node[1], sol.Node[2] = 1, 2, 1
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, Options{Solution: sol, Name: "C"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "graph C {") || !strings.Contains(out, "c2") {
+		t.Errorf("coloring overlay missing:\n%s", out)
+	}
+}
+
+func TestWriteDOTWithAdvice(t *testing.T) {
+	g := graph.Path(3)
+	adv := local.Advice{bitstr.New(1), bitstr.New(0), {}}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, Options{Advice: adv}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[1]") || !strings.Contains(out, "penwidth=3") {
+		t.Errorf("advice overlay missing:\n%s", out)
+	}
+}
+
+func TestWriteDOTForcedStyles(t *testing.T) {
+	g := graph.Cycle(4)
+	sol := lcl.NewSolution(g)
+	for e := range sol.Edge {
+		sol.Edge[e] = 1 + e%2 // splitting-like labels
+	}
+	var arrows, colors strings.Builder
+	if err := WriteDOT(&arrows, g, Options{Solution: sol, EdgeStyle: EdgeArrows}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDOT(&colors, g, Options{Solution: sol, EdgeStyle: EdgeColors}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(arrows.String(), "digraph") {
+		t.Error("EdgeArrows not directed")
+	}
+	if strings.Contains(colors.String(), "digraph") {
+		t.Error("EdgeColors rendered directed")
+	}
+	if !strings.Contains(colors.String(), "penwidth=2") {
+		t.Error("EdgeColors missing edge styling")
+	}
+}

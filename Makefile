@@ -1,0 +1,28 @@
+GO ?= go
+DATE := $(shell date +%F)
+
+.PHONY: all build test check bench exp clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# CI gate: vet plus the race-enabled suite.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Full benchmark sweep, recorded as BENCH_<date>.json for regression tracking.
+bench:
+	scripts/bench.sh BENCH_$(DATE).json
+
+# Regenerate the experiment tables (EXPERIMENTS.md source of truth).
+exp:
+	$(GO) run ./cmd/locad exp
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@
 package localadvice_test
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -402,6 +403,119 @@ func BenchmarkProofVerify(b *testing.B) {
 		res, err := s.VerifyProof(g, proof)
 		if err != nil || !res.Accepted {
 			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkBFSWithin measures the bounded scratch BFS against the size of
+// the ball, not the graph: the asymptotic win of the view engine.
+func BenchmarkBFSWithin(b *testing.B) {
+	g := graph.Grid2D(64, 64)
+	g.Snapshot()
+	s := graph.NewBFSScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ball := g.BFSWithin(2080, 6, s); len(ball) == 0 {
+			b.Fatal("empty ball")
+		}
+	}
+}
+
+// BenchmarkRunBallParallel sweeps worker counts on an n=4096 bounded-degree
+// graph; outputs are identical across all sub-benchmarks by construction.
+func BenchmarkRunBallParallel(b *testing.B) {
+	g := graph.Grid2D(64, 64)
+	advice := make(local.Advice, g.N())
+	for v := range advice {
+		advice[v] = bitstr.New(v % 2)
+	}
+	count := func(view *local.View) any { return view.G.N() }
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, _ := local.RunBallConfig(g, advice, 4, count, local.RunConfig{Workers: workers})
+				if out[0].(int) == 0 {
+					b.Fatal("empty view")
+				}
+			}
+		})
+	}
+}
+
+// --- large bounded-degree instances (n = 4096) ---
+//
+// These track the view-engine hot path at a scale where the asymptotic
+// difference between full-graph BFS and bounded ball-gathering dominates.
+
+func BenchmarkBuildView4096(b *testing.B) {
+	g := graph.Grid2D(64, 64)
+	advice := make(local.Advice, g.N())
+	for v := range advice {
+		advice[v] = bitstr.New(v % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view := local.BuildView(g, advice, 2080, 6)
+		if view.G.N() == 0 {
+			b.Fatal("empty view")
+		}
+	}
+}
+
+func BenchmarkE1LCLGrowth4096(b *testing.B) {
+	g := graph.Cycle(4096)
+	s := growth.Schema{
+		Problem:       lcl.Coloring{K: 3},
+		ClusterRadius: 60,
+		Solver: func(g *graph.Graph) (*lcl.Solution, error) {
+			return lcl.ColoringSolution(g, lcl.GreedyColoring(g))
+		},
+	}
+	advice, err := s.Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Decode(g, advice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3Orientation4096(b *testing.B) {
+	g := graph.Cycle(4096)
+	s := orient.Schema{P: orient.DefaultParams()}
+	va, err := s.EncodeVar(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.DecodeVar(g, va, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5DeltaColoring512(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := graph.RandomColorable(512, 4, 0.22, rng)
+	graph.AssignPermutedIDs(g, rng)
+	delta := g.MaxDegree()
+	p := coloring.NewDeltaPipeline(delta, 4)
+	va, err := p.EncodeVar(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.DecodeVar(g, va, nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"localadvice/internal/graph"
 	"localadvice/internal/harness"
 	"localadvice/internal/lcl"
+	"localadvice/internal/local"
 	"localadvice/internal/orient"
 )
 
@@ -89,25 +90,48 @@ subcommands:
   load              parse and validate an edge-list file
 
 common flags: -graph {cycle,path,grid,torus,regular,planted3,planted4} -n <size> -seed <s>
+              -workers <w>  view-engine / experiment worker count (0 = GOMAXPROCS)
 `)
 }
 
+// workersFlag registers the shared -workers flag. applyWorkers must be
+// called after parsing; it installs the value as the view engine's default
+// worker count and returns it for callers that fan out themselves.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "parallel workers for the view engine (0 = GOMAXPROCS)")
+}
+
+func applyWorkers(w int) int {
+	local.SetDefaultWorkers(w)
+	return w
+}
+
 func cmdExp(args []string) error {
-	ids := args
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := applyWorkers(*workers)
+	ids := fs.Args()
 	if len(ids) == 0 {
 		for _, e := range harness.All() {
 			ids = append(ids, e.ID)
 		}
 	}
+	exps := make([]harness.Experiment, 0, len(ids))
 	for _, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(harness.IDs(), ", "))
 		}
-		table, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
+		exps = append(exps, e)
+	}
+	tables, err := harness.RunMany(exps, w)
+	if err != nil {
+		return err
+	}
+	for _, table := range tables {
 		table.Render(os.Stdout)
 	}
 	return nil
@@ -164,9 +188,11 @@ func cmdOrient(args []string) error {
 	fs := flag.NewFlagSet("orient", flag.ContinueOnError)
 	kind, n, seed := graphFlags(fs)
 	spacing := fs.Int("spacing", 12, "mark spacing along trails")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	g, err := makeGraph(*kind, *n, *seed)
 	if err != nil {
 		return err
@@ -194,9 +220,11 @@ func cmdOrient(args []string) error {
 func cmdColor3(args []string) error {
 	fs := flag.NewFlagSet("color3", flag.ContinueOnError)
 	kind, n, seed := graphFlags(fs)
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	g, err := makeGraph(*kind, *n, *seed)
 	if err != nil {
 		return err
@@ -225,9 +253,11 @@ func cmdColor3(args []string) error {
 func cmdDeltaColor(args []string) error {
 	fs := flag.NewFlagSet("deltacolor", flag.ContinueOnError)
 	kind, n, seed := graphFlags(fs)
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	g, err := makeGraph(*kind, *n, *seed)
 	if err != nil {
 		return err
@@ -256,9 +286,11 @@ func cmdCompress(args []string) error {
 	n := fs.Int("n", 120, "nodes")
 	deg := fs.Int("d", 6, "degree of the random regular graph")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyWorkers(*workers)
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := graph.RandomRegular(*n, *deg, rng)
 	if err != nil {

@@ -130,17 +130,20 @@ func Compile(algo local.BallAlgorithm, radius int, graphs []*graph.Graph, advice
 
 // Run executes the compiled table as a ball algorithm.
 func (t *Table) Run(g *graph.Graph, advice local.Advice) ([]any, local.Stats, error) {
-	var missing error
+	// Missing-entry errors are returned as per-node outputs (not captured
+	// state): the ball algorithm must stay a pure function of the view now
+	// that RunBall fans out over workers.
 	outputs, stats := local.RunBall(g, advice, t.Radius, func(view *local.View) any {
 		out, ok := t.Entries[CanonicalizeView(view)]
 		if !ok {
-			missing = fmt.Errorf("eth: view %q not in table", CanonicalizeView(view))
-			return nil
+			return fmt.Errorf("eth: view %q not in table", CanonicalizeView(view))
 		}
 		return out
 	})
-	if missing != nil {
-		return nil, stats, missing
+	for _, out := range outputs {
+		if err, isErr := out.(error); isErr {
+			return nil, stats, err
+		}
 	}
 	return outputs, stats, nil
 }

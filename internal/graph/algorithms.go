@@ -3,59 +3,69 @@ package graph
 import "fmt"
 
 // BFSFrom returns the distance (in edges) from src to every node; unreachable
-// nodes get -1.
+// nodes get -1. The full n-length result is the only allocation; the
+// traversal itself runs on pooled scratch storage.
 func (g *Graph) BFSFrom(src int) []int {
 	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = -1
 	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range g.adj[v] {
-			if dist[w] == -1 {
-				dist[w] = dist[v] + 1
-				queue = append(queue, w)
-			}
-		}
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
+	for _, u := range g.BFSWithin(src, -1, s) {
+		dist[u] = int(s.dist[u])
 	}
 	return dist
 }
 
-// Dist returns the distance between u and v, or -1 if disconnected.
-func (g *Graph) Dist(u, v int) int { return g.BFSFrom(u)[v] }
+// Dist returns the distance between u and v, or -1 if disconnected. The
+// search runs on scratch storage and stops as soon as v is reached, so the
+// cost is O(nodes within dist(u,v)), not O(n+m).
+func (g *Graph) Dist(u, v int) int {
+	if u == v {
+		return 0
+	}
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
+	csr := g.Snapshot()
+	s.begin(g.n)
+	s.visit(int32(u), 0)
+	for head := 0; head < len(s.order); head++ {
+		x := s.order[head]
+		dx := s.dist[x]
+		for _, w := range csr.Neighbors(int(x)) {
+			if s.stamp[w] != s.epoch {
+				if int(w) == v {
+					return int(dx) + 1
+				}
+				s.visit(w, dx+1)
+			}
+		}
+	}
+	return -1
+}
 
 // Ball returns the node indices at distance <= r from v, in BFS order.
 func (g *Graph) Ball(v, r int) []int {
-	dist := map[int]int{v: 0}
-	queue := []int{v}
-	out := []int{v}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if dist[u] == r {
-			continue
-		}
-		for _, w := range g.adj[u] {
-			if _, seen := dist[w]; !seen {
-				dist[w] = dist[u] + 1
-				queue = append(queue, w)
-				out = append(out, w)
-			}
-		}
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
+	order := g.BFSWithin(v, r, s)
+	out := make([]int, len(order))
+	for i, u := range order {
+		out[i] = int(u)
 	}
 	return out
 }
 
-// Sphere returns the node indices at distance exactly r from v.
+// Sphere returns the node indices at distance exactly r from v, in BFS
+// order.
 func (g *Graph) Sphere(v, r int) []int {
-	dist := g.BFSFrom(v)
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
 	var out []int
-	for u, d := range dist {
-		if d == r {
-			out = append(out, u)
+	for _, u := range g.BFSWithin(v, r, s) {
+		if int(s.dist[u]) == r {
+			out = append(out, int(u))
 		}
 	}
 	return out
@@ -98,14 +108,18 @@ func (g *Graph) IsConnected() bool {
 
 // Diameter returns the largest finite distance between any pair of nodes in
 // the same component (the maximum of component diameters). Returns 0 for
-// graphs with no edges.
+// graphs with no edges. One scratch is reused across all n traversals, so
+// the total allocation is O(n) regardless of how many sources are scanned.
 func (g *Graph) Diameter() int {
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
 	d := 0
 	for v := 0; v < g.n; v++ {
-		for _, dv := range g.BFSFrom(v) {
-			if dv > d {
-				d = dv
-			}
+		// BFS visit order is nondecreasing in distance, so the last node of
+		// the traversal carries the eccentricity of v.
+		order := g.BFSWithin(v, -1, s)
+		if ecc := int(s.dist[order[len(order)-1]]); ecc > d {
+			d = ecc
 		}
 	}
 	return d
@@ -113,13 +127,10 @@ func (g *Graph) Diameter() int {
 
 // Eccentricity returns max_u dist(v, u) within v's component.
 func (g *Graph) Eccentricity(v int) int {
-	ecc := 0
-	for _, d := range g.BFSFrom(v) {
-		if d > ecc {
-			ecc = d
-		}
-	}
-	return ecc
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
+	order := g.BFSWithin(v, -1, s)
+	return int(s.dist[order[len(order)-1]])
 }
 
 // InducedSubgraph returns the subgraph induced by the given node indices,
@@ -128,29 +139,24 @@ func (g *Graph) Eccentricity(v int) int {
 func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
 	idx := make(map[int]int, len(nodes))
 	orig := make([]int, len(nodes))
+	ids := make([]int64, len(nodes))
 	for i, v := range nodes {
 		if _, dup := idx[v]; dup {
 			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", v))
 		}
 		idx[v] = i
 		orig[i] = v
-	}
-	sub := New(len(nodes))
-	ids := make([]int64, len(nodes))
-	for i, v := range nodes {
 		ids[i] = g.ids[v]
 	}
-	if err := sub.SetIDs(ids); err != nil {
-		panic(err)
-	}
+	var edges []Edge
 	for i, v := range nodes {
 		for _, w := range g.adj[v] {
 			if j, ok := idx[w]; ok && i < j {
-				sub.MustAddEdge(i, j)
+				edges = append(edges, Edge{U: i, V: j})
 			}
 		}
 	}
-	return sub, orig
+	return NewFromEdges(ids, edges), orig
 }
 
 // Power returns the k-th power graph G^k: same nodes, an edge between any
@@ -205,13 +211,15 @@ func (g *Graph) Bipartition() (side []int, ok bool) {
 // sub-exponential growth regime at the scales tested.
 func (g *Graph) GrowthProfile(maxR int) []int {
 	out := make([]int, maxR+1)
+	s := scratchPool.Get().(*BFSScratch)
+	defer scratchPool.Put(s)
+	counts := make([]int, maxR+1)
 	for v := 0; v < g.n; v++ {
-		dist := g.BFSFrom(v)
-		counts := make([]int, maxR+1)
-		for _, d := range dist {
-			if d >= 0 && d <= maxR {
-				counts[d]++
-			}
+		for r := range counts {
+			counts[r] = 0
+		}
+		for _, u := range g.BFSWithin(v, maxR, s) {
+			counts[s.dist[u]]++
 		}
 		cum := 0
 		for r := 0; r <= maxR; r++ {

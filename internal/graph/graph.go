@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge between node indices U and V with U < V.
@@ -26,7 +27,15 @@ type Graph struct {
 	adj   [][]int // adjacency lists of neighbor node indices
 	inc   [][]int // incident edge indices, aligned with adj
 	edges []Edge
-	byIDs map[int64]int // id -> node index
+
+	// byIDs caches the id -> node index map, built on first NodeByID; the
+	// view engine constructs thousands of short-lived subgraphs whose IDs
+	// are never looked up, so the map must not be paid for eagerly.
+	byIDs atomic.Pointer[map[int64]int]
+
+	// snap caches the CSR adjacency snapshot (see Snapshot); any mutation
+	// of the adjacency structure stores nil to invalidate it.
+	snap atomic.Pointer[CSR]
 }
 
 // New returns an empty graph with n nodes and sequential IDs 1..n.
@@ -35,15 +44,13 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
 	g := &Graph{
-		n:     n,
-		ids:   make([]int64, n),
-		adj:   make([][]int, n),
-		inc:   make([][]int, n),
-		byIDs: make(map[int64]int, n),
+		n:   n,
+		ids: make([]int64, n),
+		adj: make([][]int, n),
+		inc: make([][]int, n),
 	}
 	for v := 0; v < n; v++ {
 		g.ids[v] = int64(v + 1)
-		g.byIDs[g.ids[v]] = v
 	}
 	return g
 }
@@ -75,7 +82,60 @@ func (g *Graph) AddEdge(u, v int) (int, error) {
 	g.adj[v] = append(g.adj[v], u)
 	g.inc[u] = append(g.inc[u], idx)
 	g.inc[v] = append(g.inc[v], idx)
+	g.snap.Store(nil)
 	return idx, nil
+}
+
+// NewFromEdges assembles a graph in one pass from node IDs and a complete
+// edge list, preallocating the adjacency storage exactly (two backing arrays
+// shared by all nodes). It is the bulk constructor of the view engine's hot
+// path. The ids slice is copied; the edges slice is taken over by the graph
+// and must not be modified afterwards. Edges must satisfy U < V with both
+// endpoints in range, and the edge list must describe a simple graph (no
+// duplicates); endpoint violations panic, duplicates are the caller's
+// responsibility (Validate detects them). IDs must be positive; duplicate
+// IDs are detected lazily, on the first NodeByID lookup.
+//
+// Adjacency order matches what repeated AddEdge calls in the same edge order
+// would produce, so the two construction paths are interchangeable.
+func NewFromEdges(ids []int64, edges []Edge) *Graph {
+	n := len(ids)
+	for v, id := range ids {
+		if id <= 0 {
+			panic(fmt.Sprintf("graph: non-positive ID %d for node %d", id, v))
+		}
+	}
+	deg := make([]int, n)
+	for _, e := range edges {
+		if e.U < 0 || e.V >= n || e.U >= e.V {
+			panic(fmt.Sprintf("graph: bad edge {%d,%d} for %d nodes", e.U, e.V, n))
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	adjBacking := make([]int, 2*len(edges))
+	incBacking := make([]int, 2*len(edges))
+	adj := make([][]int, n)
+	inc := make([][]int, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		adj[v] = adjBacking[off : off : off+deg[v]]
+		inc[v] = incBacking[off : off : off+deg[v]]
+		off += deg[v]
+	}
+	for i, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+		inc[e.U] = append(inc[e.U], i)
+		inc[e.V] = append(inc[e.V], i)
+	}
+	return &Graph{
+		n:     n,
+		ids:   append([]int64(nil), ids...),
+		adj:   adj,
+		inc:   inc,
+		edges: edges,
+	}
 }
 
 // MustAddEdge is AddEdge that panics on error; for generators and tests.
@@ -144,8 +204,13 @@ func (g *Graph) Other(e, v int) int {
 // Degree returns the degree of v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 
-// MaxDegree returns Δ, the maximum degree (0 for the empty graph).
+// MaxDegree returns Δ, the maximum degree (0 for the empty graph). When a
+// CSR snapshot is cached the precomputed value is returned; callers in hot
+// loops should take a Snapshot first so every MaxDegree call is O(1).
 func (g *Graph) MaxDegree() int {
+	if c := g.snap.Load(); c != nil {
+		return c.maxDeg
+	}
 	d := 0
 	for v := 0; v < g.n; v++ {
 		if len(g.adj[v]) > d {
@@ -185,9 +250,23 @@ func (g *Graph) AllDegreesEven() bool {
 // ID returns the unique identifier of node v.
 func (g *Graph) ID(v int) int64 { return g.ids[v] }
 
-// NodeByID returns the node index carrying the identifier id, or -1.
+// NodeByID returns the node index carrying the identifier id, or -1. The
+// first call builds the lookup map (panicking on duplicate IDs); concurrent
+// first calls may each build it, which is safe because ids are immutable.
 func (g *Graph) NodeByID(id int64) int {
-	if v, ok := g.byIDs[id]; ok {
+	m := g.byIDs.Load()
+	if m == nil {
+		idx := make(map[int64]int, g.n)
+		for v, nid := range g.ids {
+			if prev, dup := idx[nid]; dup {
+				panic(fmt.Sprintf("graph: duplicate ID %d on nodes %d and %d", nid, prev, v))
+			}
+			idx[nid] = v
+		}
+		m = &idx
+		g.byIDs.Store(m)
+	}
+	if v, ok := (*m)[id]; ok {
 		return v
 	}
 	return -1
@@ -211,10 +290,7 @@ func (g *Graph) SetIDs(ids []int64) error {
 		seen[id] = true
 	}
 	g.ids = append([]int64(nil), ids...)
-	g.byIDs = make(map[int64]int, len(ids))
-	for v, id := range ids {
-		g.byIDs[id] = v
-	}
+	g.byIDs.Store(nil)
 	return nil
 }
 
@@ -240,18 +316,12 @@ func (g *Graph) SortAdjacencyByID() {
 		g.adj[v] = adj
 		g.inc[v] = inc
 	}
+	g.snap.Store(nil)
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	if err := c.SetIDs(g.ids); err != nil {
-		panic(err) // IDs of a valid graph are always valid
-	}
-	for _, e := range g.edges {
-		c.MustAddEdge(e.U, e.V)
-	}
-	return c
+	return NewFromEdges(g.ids, append([]Edge(nil), g.edges...))
 }
 
 // Validate checks internal consistency (used by tests and after generators).

@@ -149,22 +149,47 @@ func smallestIDNeighbor(g *graph.Graph, v int) int {
 
 // assignVoronoi assigns every non-solo node to the nearest marker component
 // (ties toward the component with the smaller minimum member ID).
+//
+// One multi-source BFS replaces the historical per-seed sweeps: seeds are
+// enqueued in increasing min-member-ID order, so within every distance layer
+// the queue stays grouped by that order, and the first marker to discover a
+// node is exactly the argmin of (distance, min member ID). O(n + m) total
+// instead of O(#markers * (n + m)).
 func assignVoronoi(g *graph.Graph, c *clustering) {
-	bestDist := make([]int, g.N())
-	for mi, m := range c.markers {
-		for _, seed := range m {
-			for v, d := range g.BFSFrom(seed) {
-				if d == -1 || c.solo[v] {
-					continue
-				}
-				switch {
-				case c.cluster[v] == -1,
-					d < bestDist[v],
-					d == bestDist[v] && markerMinID(g, c.markers[mi]) < markerMinID(g, c.markers[c.cluster[v]]):
-					c.cluster[v] = mi
-					bestDist[v] = d
-				}
+	if len(c.markers) == 0 {
+		return
+	}
+	byMinID := make([]int, len(c.markers))
+	for i := range byMinID {
+		byMinID[i] = i
+	}
+	sort.Slice(byMinID, func(a, b int) bool {
+		return markerMinID(g, c.markers[byMinID[a]]) < markerMinID(g, c.markers[byMinID[b]])
+	})
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, g.N())
+	for _, mi := range byMinID {
+		for _, seed := range c.markers[mi] {
+			if dist[seed] == -1 && !c.solo[seed] {
+				dist[seed] = 0
+				c.cluster[seed] = mi
+				queue = append(queue, int32(seed))
 			}
+		}
+	}
+	csr := g.Snapshot()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, w := range csr.Neighbors(int(u)) {
+			if dist[w] != -1 || c.solo[w] {
+				continue
+			}
+			dist[w] = dist[u] + 1
+			c.cluster[w] = c.cluster[u]
+			queue = append(queue, w)
 		}
 	}
 }
@@ -273,18 +298,20 @@ func (s Schema) dataCarriers(g *graph.Graph, c *clustering, mi int) []int {
 			excluded[w] = true
 		}
 	}
-	distA := g.BFSFrom(m[0])
-	distB := g.BFSFrom(m[1])
+	// Only nodes within dataRadius of a marker seed qualify, so two bounded
+	// traversals replace the historical pair of full-graph BFS passes. The
+	// second ball skips nodes the first already saw.
+	sA, sB := graph.NewBFSScratch(), graph.NewBFSScratch()
 	var zone []int
-	for v := 0; v < g.N(); v++ {
-		if c.cluster[v] != mi || excluded[v] {
-			continue
+	for _, u := range g.BFSWithin(m[0], s.dataRadius(), sA) {
+		v := int(u)
+		if c.cluster[v] == mi && !excluded[v] {
+			zone = append(zone, v)
 		}
-		d := distA[v]
-		if distB[v] != -1 && (d == -1 || distB[v] < d) {
-			d = distB[v]
-		}
-		if d != -1 && d <= s.dataRadius() {
+	}
+	for _, u := range g.BFSWithin(m[1], s.dataRadius(), sB) {
+		v := int(u)
+		if sA.Dist(v) == -1 && c.cluster[v] == mi && !excluded[v] {
 			zone = append(zone, v)
 		}
 	}

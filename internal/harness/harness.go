@@ -7,8 +7,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table is one experiment's output table.
@@ -85,6 +87,46 @@ func All() []Experiment {
 		{ID: "E7", Title: "Δ-edge-coloring bipartite Δ-regular graphs, Δ = 2^k (Cor 5.9)", Run: RunE7},
 		{ID: "E8", Title: "Composability and arbitrarily sparse advice (Lem 1/2, Def 3/4)", Run: RunE8},
 	}
+}
+
+// RunMany executes the given experiments, fanning the rows of work out over
+// up to `workers` goroutines (0 means GOMAXPROCS), and returns the tables in
+// the order the experiments were given. Every experiment is deterministic
+// (seeded RNGs, no shared state), so the tables are identical to a
+// sequential run; only the wall-clock changes. The first error wins.
+func RunMany(exps []Experiment, workers int) ([]*Table, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	tables := make([]*Table, len(exps))
+	errs := make([]error, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			tables[i], errs[i] = e.Run()
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, e := range exps {
+			wg.Add(1)
+			go func(i int, e Experiment) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				tables[i], errs[i] = e.Run()
+			}(i, e)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+	}
+	return tables, nil
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,0 +1,172 @@
+package local
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+// RunConfig configures the parallel view engine (RunBallConfig).
+type RunConfig struct {
+	// Workers is the number of goroutines that build views and evaluate the
+	// ball algorithm; 0 means GOMAXPROCS. Outputs are written by node index
+	// and Stats depend only on the radius, so results are byte-for-byte
+	// identical for every worker count.
+	Workers int
+}
+
+// defaultWorkers holds the process-wide worker count used by RunBall when no
+// explicit RunConfig is supplied; 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers fixes the worker count RunBall uses by default; n <= 0
+// restores the GOMAXPROCS default. The locad CLI's -workers flag calls this
+// once at startup so every decoder in the process inherits the setting.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// parallelThreshold is the node count below which the default engine stays
+// sequential: on tiny graphs goroutine fan-out costs more than it saves.
+// RunBallConfig with an explicit Workers value always honors it.
+const parallelThreshold = 256
+
+// validateAdvice fails loudly on a prover bug: advice, when present, must
+// assign a (possibly empty) string to every node. The old engine silently
+// treated out-of-range nodes as empty-advice, which hid encoder errors.
+func validateAdvice(g *graph.Graph, advice Advice) {
+	if advice != nil && len(advice) != g.N() {
+		panic(fmt.Sprintf("local: advice has %d entries for a %d-node graph (prover bug: advice must be nil or cover every node)", len(advice), g.N()))
+	}
+}
+
+// ViewBuilder assembles radius-T views using per-builder scratch storage (a
+// bounded-BFS scratch and an edge accumulation buffer), so building views in
+// a loop performs near-zero steady-state allocation beyond the returned View
+// itself. A ViewBuilder is not safe for concurrent use; the parallel engine
+// gives each worker its own.
+type ViewBuilder struct {
+	bfs   graph.BFSScratch
+	edges []graph.Edge
+}
+
+// NewViewBuilder returns an empty builder; its scratch sizes itself lazily
+// to the graphs it sees.
+func NewViewBuilder() *ViewBuilder { return &ViewBuilder{} }
+
+// builderPool backs the package-level BuildView and the sequential RunBall
+// path so that one-off callers also reuse scratch.
+var builderPool = sync.Pool{New: func() any { return NewViewBuilder() }}
+
+// BuildView constructs the radius-T view of node v in g under advice. The
+// returned View shares nothing with the builder and may be retained.
+func (b *ViewBuilder) BuildView(g *graph.Graph, advice Advice, v, radius int) *View {
+	validateAdvice(g, advice)
+	csr := g.Snapshot()
+	ball := g.BFSWithin(v, radius, &b.bfs)
+	k := len(ball)
+
+	ids := make([]int64, k)
+	for i, u := range ball {
+		ids[i] = g.ID(int(u))
+	}
+	// Collect the visible edges: both endpoints in the ball, at least one
+	// endpoint strictly inside radius (a node learns an edge in T rounds
+	// only if some endpoint is at distance <= T-1). Edges are emitted in
+	// the same order the incremental constructor would add them, so the
+	// subgraph's adjacency order is identical to the historical engine's.
+	b.edges = b.edges[:0]
+	for i, u := range ball {
+		du := b.bfs.Dist(int(u))
+		for _, w := range csr.Neighbors(int(u)) {
+			j := b.bfs.Pos(int(w))
+			if j <= i { // invisible (-1) or already emitted from the other side
+				continue
+			}
+			if du >= radius && b.bfs.Dist(int(w)) >= radius {
+				continue
+			}
+			b.edges = append(b.edges, graph.Edge{U: i, V: j})
+		}
+	}
+	edges := make([]graph.Edge, len(b.edges))
+	copy(edges, b.edges)
+	sub := graph.NewFromEdges(ids, edges)
+
+	view := &View{
+		G:          sub,
+		Center:     0, // v is the BFS source, always first in ball order
+		Dist:       make([]int, k),
+		Advice:     make([]bitstr.String, k),
+		TrueDegree: make([]int, k),
+		Radius:     radius,
+		N:          g.N(),
+		Delta:      csr.MaxDegree(),
+	}
+	for i, u := range ball {
+		view.Dist[i] = b.bfs.Dist(int(u))
+		view.TrueDegree[i] = csr.Degree(int(u))
+		if int(u) < len(advice) {
+			view.Advice[i] = advice[int(u)]
+		}
+	}
+	return view
+}
+
+// RunBallConfig executes a ball algorithm with the given radius on every
+// node of g using cfg.Workers parallel workers and returns the per-node
+// outputs. The round count is exactly the radius. The algorithm must be a
+// pure function of the view (all production decoders are); outputs are
+// written by node index, so the result is identical for any worker count.
+func RunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm, cfg RunConfig) ([]any, Stats) {
+	validateAdvice(g, advice)
+	n := g.N()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	outputs := make([]any, n)
+	if n == 0 {
+		return outputs, Stats{Rounds: radius}
+	}
+	g.Snapshot() // build the CSR once, before the fan-out
+
+	if workers <= 1 {
+		b := builderPool.Get().(*ViewBuilder)
+		defer builderPool.Put(b)
+		for v := 0; v < n; v++ {
+			outputs[v] = algo(b.BuildView(g, advice, v, radius))
+		}
+		return outputs, Stats{Rounds: radius}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := builderPool.Get().(*ViewBuilder)
+			defer builderPool.Put(b)
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					return
+				}
+				outputs[v] = algo(b.BuildView(g, advice, v, radius))
+			}
+		}()
+	}
+	wg.Wait()
+	return outputs, Stats{Rounds: radius}
+}

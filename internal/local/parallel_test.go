@@ -1,0 +1,207 @@
+package local
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+// viewFingerprint is a canonical summary of a view: sorted edge ID pairs
+// plus sorted per-node (ID, advice, true degree, distance) tuples. Any
+// difference between two views shows up in the fingerprint.
+func viewFingerprint(view *View) any {
+	edgeFPs := make([]string, 0, view.G.M())
+	for _, e := range view.G.Edges() {
+		a, b := view.G.ID(e.U), view.G.ID(e.V)
+		if a > b {
+			a, b = b, a
+		}
+		edgeFPs = append(edgeFPs, fingerprintEdge(a, b))
+	}
+	sort.Strings(edgeFPs)
+	fp := strings.Join(edgeFPs, "")
+	ids := make([]int64, view.G.N())
+	for i := range ids {
+		ids[i] = view.G.ID(i)
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		i := view.NodeByID(id)
+		fp += fingerprintNode(id, view.Advice[i], view.TrueDegree[i], view.Dist[i])
+	}
+	return fmt.Sprintf("c%d|r%d|n%d|d%d|", view.G.ID(view.Center), view.Radius, view.N, view.Delta) + fp
+}
+
+// propertyGraphs is the generator sweep of the parallel/sequential
+// equivalence property test: one representative per family, over a fixed
+// seed set.
+func propertyGraphs(t *testing.T, seed int64) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	reg, err := graph.RandomRegular(64, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := map[string]*graph.Graph{
+		"cycle":   graph.Cycle(40),
+		"path":    graph.Path(23),
+		"grid":    graph.Grid2D(6, 8),
+		"torus":   graph.Torus2D(5, 7),
+		"tree":    graph.CompleteBinaryTree(5),
+		"star":    graph.Star(9),
+		"regular": reg,
+		"gnp":     graph.RandomGNP(48, 0.1, rng),
+	}
+	for _, g := range gs {
+		graph.AssignPermutedIDs(g, rng)
+	}
+	return gs
+}
+
+// TestRunBallWorkerCountEquivalence is the determinism property test of the
+// parallel view engine: for every graph family and seed, RunBall produces
+// identical outputs and Stats with 1, 4, and GOMAXPROCS workers.
+func TestRunBallWorkerCountEquivalence(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, seed := range []int64{1, 2, 3} {
+		for name, g := range propertyGraphs(t, seed) {
+			rng := rand.New(rand.NewSource(seed * 100))
+			advice := make(Advice, g.N())
+			for v := range advice {
+				advice[v] = bitstr.New(rng.Intn(2))
+			}
+			for _, radius := range []int{0, 1, 3} {
+				baseOut, baseStats := RunBallConfig(g, advice, radius, viewFingerprint, RunConfig{Workers: workerCounts[0]})
+				for _, w := range workerCounts[1:] {
+					out, stats := RunBallConfig(g, advice, radius, viewFingerprint, RunConfig{Workers: w})
+					if stats != baseStats {
+						t.Fatalf("seed %d %s r=%d: stats differ with %d workers: %+v vs %+v",
+							seed, name, radius, w, stats, baseStats)
+					}
+					for v := range out {
+						if out[v] != baseOut[v] {
+							t.Fatalf("seed %d %s r=%d node %d: output differs with %d workers\n1 worker: %v\n%d workers: %v",
+								seed, name, radius, v, w, baseOut[v], w, out[v])
+						}
+					}
+				}
+				// The default engine (whatever heuristic it applies) must
+				// agree as well.
+				defOut, defStats := RunBall(g, advice, radius, viewFingerprint)
+				if defStats != baseStats {
+					t.Fatalf("seed %d %s r=%d: default-engine stats differ", seed, name, radius)
+				}
+				for v := range defOut {
+					if defOut[v] != baseOut[v] {
+						t.Fatalf("seed %d %s r=%d node %d: default engine differs", seed, name, radius, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMessageEngineAgreesWithParallelViewEngine checks that the goroutine
+// message engine still assembles exactly the views the parallel ball engine
+// hands out.
+func TestMessageEngineAgreesWithParallelViewEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for name, g := range propertyGraphs(t, 5) {
+		advice := make(Advice, g.N())
+		for v := range advice {
+			advice[v] = bitstr.New(rng.Intn(2))
+		}
+		for _, radius := range []int{1, 2} {
+			ballOut, _ := RunBallConfig(g, advice, radius, viewFingerprint, RunConfig{Workers: 4})
+			msgOut, _, err := Run(g, &GatherProtocol{Radius: radius, Decide: viewFingerprint}, advice)
+			if err != nil {
+				t.Fatalf("%s radius %d: %v", name, radius, err)
+			}
+			for v := range ballOut {
+				if ballOut[v] != msgOut[v] {
+					t.Fatalf("%s radius %d node %d: engines disagree\nball: %v\nmsg:  %v",
+						name, radius, v, ballOut[v], msgOut[v])
+				}
+			}
+		}
+	}
+}
+
+// TestViewBuilderReuse checks that one builder used across many nodes and
+// graphs produces exactly what fresh standalone builds produce.
+func TestViewBuilderReuse(t *testing.T) {
+	b := NewViewBuilder()
+	for _, g := range propertyGraphs(t, 9) {
+		advice := make(Advice, g.N())
+		for v := range advice {
+			advice[v] = bitstr.New(v % 2)
+		}
+		for v := 0; v < g.N(); v += 3 {
+			got := viewFingerprint(b.BuildView(g, advice, v, 2))
+			want := viewFingerprint(BuildView(g, advice, v, 2))
+			if got != want {
+				t.Fatalf("reused builder differs at node %d", v)
+			}
+		}
+	}
+}
+
+// TestViewsAreIndependent checks that views built by the same builder do not
+// alias each other's storage (the returned View must be retainable).
+func TestViewsAreIndependent(t *testing.T) {
+	g := graph.Cycle(30)
+	b := NewViewBuilder()
+	v1 := b.BuildView(g, nil, 0, 2)
+	fp1 := viewFingerprint(v1)
+	_ = b.BuildView(g, nil, 15, 3) // would clobber v1 if storage were shared
+	if viewFingerprint(v1) != fp1 {
+		t.Fatal("a later BuildView mutated an earlier View")
+	}
+}
+
+func TestAdviceLengthValidation(t *testing.T) {
+	g := graph.Cycle(6)
+	short := make(Advice, 3)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s accepted truncated advice", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("BuildView", func() { BuildView(g, short, 0, 1) })
+	mustPanic("RunBall", func() { RunBall(g, short, 1, func(*View) any { return nil }) })
+	mustPanic("RunBallConfig", func() {
+		RunBallConfig(g, short, 1, func(*View) any { return nil }, RunConfig{Workers: 2})
+	})
+	// nil advice and exact-length advice stay accepted.
+	BuildView(g, nil, 0, 1)
+	BuildView(g, make(Advice, g.N()), 0, 1)
+}
+
+// TestRunBallLargeGraphDefaultParallel exercises the default engine above
+// the parallel threshold against an explicit single worker.
+func TestRunBallLargeGraphDefaultParallel(t *testing.T) {
+	g := graph.Grid2D(20, 20) // 400 nodes >= parallelThreshold
+	advice := make(Advice, g.N())
+	for v := range advice {
+		advice[v] = bitstr.New(v % 2)
+	}
+	seqOut, seqStats := RunBallConfig(g, advice, 4, viewFingerprint, RunConfig{Workers: 1})
+	parOut, parStats := RunBall(g, advice, 4, viewFingerprint)
+	if seqStats != parStats {
+		t.Fatalf("stats differ: %+v vs %+v", seqStats, parStats)
+	}
+	for v := range seqOut {
+		if seqOut[v] != parOut[v] {
+			t.Fatalf("node %d differs between default and single-worker engines", v)
+		}
+	}
+}

@@ -41,65 +41,27 @@ func (v *View) NodeByID(id int64) int { return v.G.NodeByID(id) }
 // radius-T view of each node. The returned value is the node's output.
 type BallAlgorithm func(view *View) any
 
-// BuildView constructs the radius-T view of node v in g under advice.
+// BuildView constructs the radius-T view of node v in g under advice. It is
+// the convenience form of ViewBuilder.BuildView using pooled scratch; loops
+// that build many views should hold their own ViewBuilder.
 func BuildView(g *graph.Graph, advice Advice, v, radius int) *View {
-	ball := g.Ball(v, radius)
-	dist := g.BFSFrom(v)
-
-	idx := make(map[int]int, len(ball))
-	for i, u := range ball {
-		idx[u] = i
-	}
-	sub := graph.New(len(ball))
-	ids := make([]int64, len(ball))
-	for i, u := range ball {
-		ids[i] = g.ID(u)
-	}
-	if err := sub.SetIDs(ids); err != nil {
-		panic(err) // host graph IDs are unique, so this cannot fail
-	}
-	for i, u := range ball {
-		for _, w := range g.Neighbors(u) {
-			j, visible := idx[w]
-			if !visible || j <= i {
-				continue
-			}
-			// A node learns an edge in T rounds only if some endpoint is at
-			// distance <= T-1.
-			if dist[u] >= radius && dist[w] >= radius {
-				continue
-			}
-			sub.MustAddEdge(i, j)
-		}
-	}
-	view := &View{
-		G:          sub,
-		Center:     idx[v],
-		Dist:       make([]int, len(ball)),
-		Advice:     make([]bitstr.String, len(ball)),
-		TrueDegree: make([]int, len(ball)),
-		Radius:     radius,
-		N:          g.N(),
-		Delta:      g.MaxDegree(),
-	}
-	for i, u := range ball {
-		view.Dist[i] = dist[u]
-		view.TrueDegree[i] = g.Degree(u)
-		if u < len(advice) {
-			view.Advice[i] = advice[u]
-		}
-	}
-	return view
+	b := builderPool.Get().(*ViewBuilder)
+	defer builderPool.Put(b)
+	return b.BuildView(g, advice, v, radius)
 }
 
 // RunBall executes a ball algorithm with the given radius on every node of g
 // and returns the per-node outputs. The round count is exactly the radius.
+// Large graphs fan out over a worker pool (GOMAXPROCS workers unless
+// SetDefaultWorkers says otherwise); small graphs run sequentially, since
+// fan-out overhead dominates below a few hundred nodes. Either way the
+// outputs and Stats are identical to a single-worker run.
 func RunBall(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm) ([]any, Stats) {
-	outputs := make([]any, g.N())
-	for v := 0; v < g.N(); v++ {
-		outputs[v] = algo(BuildView(g, advice, v, radius))
+	workers := int(defaultWorkers.Load())
+	if g.N() < parallelThreshold && workers == 0 {
+		workers = 1
 	}
-	return outputs, Stats{Rounds: radius}
+	return RunBallConfig(g, advice, radius, algo, RunConfig{Workers: workers})
 }
 
 // GatherProtocol is a message-engine protocol in which every node floods its

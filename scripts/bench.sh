@@ -1,0 +1,43 @@
+#!/bin/sh
+# Run the repo benchmark suite and record the results as JSON.
+#
+# Usage: scripts/bench.sh [outfile] [bench-regex]
+#
+# Produces a JSON file (default BENCH_<date>.json) with one record per
+# benchmark: name, iterations, ns/op, and the allocation columns when the
+# benchmark reports them. Raw `go test -bench` output is kept alongside the
+# parsed records so nothing is lost to parsing.
+set -eu
+
+out=${1:-BENCH_$(date +%F).json}
+pattern=${2:-.}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+
+awk -v date="$(date +%F)" '
+BEGIN { n = 0 }
+/^cpu: /  { cpu = substr($0, 6) }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bpo = ""; apo = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bpo = $(i - 1)
+        if ($(i) == "allocs/op") apo = $(i - 1)
+    }
+    rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bpo != "") rec = rec sprintf(", \"bytes_per_op\": %s", bpo)
+    if (apo != "") rec = rec sprintf(", \"allocs_per_op\": %s", apo)
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, cpu
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test check bench exp clean
+.PHONY: all build test check bench bench-msg exp clean
 
 all: build
 
@@ -19,6 +19,11 @@ check:
 # Full benchmark sweep, recorded as BENCH_<date>.json for regression tracking.
 bench:
 	scripts/bench.sh BENCH_$(DATE).json
+
+# Message-engine + LLL subset (sharded scheduler vs goroutine engine,
+# Moser-Tardos resampling throughput), recorded the same way.
+bench-msg:
+	scripts/bench.sh BENCH_$(DATE)_msg.json 'Engine|MessageEngine|MoserTardos|LLL'
 
 # Regenerate the experiment tables (EXPERIMENTS.md source of truth).
 exp:

@@ -228,6 +228,8 @@ func BenchmarkBuildView(b *testing.B) {
 }
 
 func BenchmarkMessageEngine(b *testing.B) {
+	// local.Run is the sharded scheduler; BenchmarkEngineGoroutine tracks
+	// the retained channel-based engine on the same shape of workload.
 	g := graph.Grid2D(10, 10)
 	proto := &local.GatherProtocol{Radius: 2, Decide: func(view *local.View) any { return view.G.N() }}
 	b.ResetTimer()
@@ -284,9 +286,78 @@ func BenchmarkMoserTardos(b *testing.B) {
 		},
 	}
 	b.ResetTimer()
+	resamplings := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := lll.Solve(in, rng, 1<<20); err != nil {
+		res, err := lll.Solve(in, rng, 1<<20)
+		if err != nil {
 			b.Fatal(err)
+		}
+		resamplings += res.Resamplings
+	}
+	b.ReportMetric(float64(resamplings)/b.Elapsed().Seconds(), "resamplings/s")
+}
+
+// BenchmarkMoserTardosLarge exercises the dense violated-set bookkeeping on
+// an instance big enough that resampling dominates: random 5-SAT with 500
+// variables and 1200 overlapping clauses.
+func BenchmarkMoserTardosLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	clauseVars := make([][]int, 1200)
+	clauseNeg := make([][]bool, 1200)
+	for c := range clauseVars {
+		clauseVars[c] = rng.Perm(500)[:5]
+		clauseNeg[c] = make([]bool, 5)
+		for i := range clauseNeg[c] {
+			clauseNeg[c][i] = rng.Intn(2) == 0
+		}
+	}
+	in := &lll.Instance{
+		NumVars:    500,
+		DomainSize: func(int) int { return 2 },
+		NumEvents:  1200,
+		Vars:       func(e int) []int { return clauseVars[e] },
+		Bad: func(e int, a []int) bool {
+			for i, v := range clauseVars[e] {
+				val := a[v] == 1
+				if clauseNeg[e][i] {
+					val = !val
+				}
+				if val {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	b.ResetTimer()
+	resamplings := 0
+	for i := 0; i < b.N; i++ {
+		res, err := lll.Solve(in, rng, 1<<22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resamplings += res.Resamplings
+	}
+	b.ReportMetric(float64(resamplings)/b.Elapsed().Seconds(), "resamplings/s")
+}
+
+func BenchmarkLLLDependencyDegree(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	clauseVars := make([][]int, 1200)
+	for c := range clauseVars {
+		clauseVars[c] = rng.Perm(500)[:5]
+	}
+	in := &lll.Instance{
+		NumVars:    500,
+		DomainSize: func(int) int { return 2 },
+		NumEvents:  1200,
+		Vars:       func(e int) []int { return clauseVars[e] },
+		Bad:        func(int, []int) bool { return false },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := lll.DependencyDegree(in); d == 0 {
+			b.Fatal("degenerate instance")
 		}
 	}
 }
@@ -525,9 +596,87 @@ func BenchmarkEngineGoroutine(b *testing.B) {
 	proto := &local.GatherProtocol{Radius: 2, Decide: func(view *local.View) any { return view.G.N() }}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := local.Run(g, proto, nil); err != nil {
+		if _, _, err := local.RunGoroutine(g, proto, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// floodProtocol floods the maximum ID seen so far for a fixed number of
+// rounds: the message-engine reference protocol of the 4096-node grid
+// benchmarks. Per-node work is a few comparisons, so these benchmarks
+// measure engine overhead (scheduling, delivery, synchronization), not
+// protocol computation.
+type floodProtocol struct{ rounds int }
+
+type floodMachine struct {
+	rounds, degree int
+	best           int64
+}
+
+func (p *floodProtocol) NewMachine(info local.NodeInfo) local.Machine {
+	return &floodMachine{rounds: p.rounds, degree: info.Degree, best: info.ID}
+}
+
+func (m *floodMachine) Round(round int, inbox []local.Message) ([]local.Message, bool) {
+	for _, msg := range inbox {
+		if msg == nil {
+			continue
+		}
+		if id := msg.(int64); id > m.best {
+			m.best = id
+		}
+	}
+	if round > m.rounds {
+		return nil, true
+	}
+	out := make([]local.Message, m.degree)
+	for i := range out {
+		out[i] = m.best
+	}
+	return out, false
+}
+
+func (m *floodMachine) Output() any { return m.best }
+
+// benchEngine4096 runs the flood reference protocol on a 4096-node grid
+// under the given message engine and reports rounds/s alongside ns/op.
+func benchEngine4096(b *testing.B, run func(*graph.Graph, local.Protocol, local.Advice) ([]any, local.Stats, error)) {
+	g := graph.Grid2D(64, 64)
+	proto := &floodProtocol{rounds: 8}
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, stats, err := run(g, proto, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out[0].(int64) == 0 {
+			b.Fatal("bad output")
+		}
+		rounds += stats.Rounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+func BenchmarkEngineScheduler4096(b *testing.B) { benchEngine4096(b, local.Run) }
+
+func BenchmarkEngineGoroutine4096(b *testing.B) { benchEngine4096(b, local.RunGoroutine) }
+
+// BenchmarkEngineSchedulerWorkers sweeps explicit worker counts on the
+// 4096-node grid; outputs and stats are identical across all sub-benchmarks
+// by the scheduler's determinism contract.
+func BenchmarkEngineSchedulerWorkers(b *testing.B) {
+	g := graph.Grid2D(64, 64)
+	proto := &floodProtocol{rounds: 8}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := local.RunMessageConfig(g, proto, nil, local.RunConfig{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

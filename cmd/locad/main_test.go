@@ -18,6 +18,10 @@ func TestRunSubcommands(t *testing.T) {
 		{"compress", []string{"compress", "-d", "4", "-n", "80"}},
 		{"graphinfo", []string{"graphinfo", "-graph", "grid", "-n", "49"}},
 		{"exp e2", []string{"exp", "E2"}},
+		{"engine message", []string{"engine", "-graph", "grid", "-n", "100", "-radius", "2", "-engine", "message", "-workers", "2"}},
+		{"engine ball", []string{"engine", "-graph", "cycle", "-n", "64", "-engine", "ball"}},
+		{"engine goroutine", []string{"engine", "-graph", "torus", "-n", "36", "-engine", "goroutine"}},
+		{"engine sequential", []string{"engine", "-graph", "grid", "-n", "49", "-engine", "sequential"}},
 		{"prove mis", []string{"prove", "-graph", "cycle", "-n", "150", "-problem", "mis", "-radius", "25"}},
 		{"help", []string{"help"}},
 	}
@@ -39,6 +43,7 @@ func TestRunErrors(t *testing.T) {
 		{"unknown subcommand", []string{"frobnicate"}},
 		{"unknown experiment", []string{"exp", "E99"}},
 		{"unknown graph", []string{"orient", "-graph", "klein-bottle"}},
+		{"unknown engine", []string{"engine", "-engine", "steam"}},
 		{"bad proof problem", []string{"prove", "-problem", "traveling-salesman"}},
 		{"wrong proof length", []string{"verifyproof", "-graph", "cycle", "-n", "10", "-proof", "01"}},
 		{"bad proof chars", []string{"verifyproof", "-graph", "cycle", "-n", "3", "-proof", "0x1"}},
@@ -98,7 +103,7 @@ func TestHead(t *testing.T) {
 func TestUsageMentionsAllSubcommands(t *testing.T) {
 	// usage writes to stderr; just ensure the command table stays in sync
 	// by checking run() dispatches everything usage lists.
-	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "prove", "verifyproof"} {
+	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "prove", "verifyproof"} {
 		// Dispatching with bad flags still proves the subcommand exists:
 		// flag parse errors differ from "unknown subcommand".
 		err := run([]string{sub, "-definitely-not-a-flag"})

@@ -10,6 +10,15 @@
 // symmetric LLL condition e·p·(d+1) <= 1 the Moser–Tardos algorithm
 // terminates after an expected number of resamplings linear in the number of
 // events, and in practice far below the configured cap.
+//
+// Solve is deterministic for a fixed seed: the violated event to resample is
+// always the one with the lowest index (correctness of Moser–Tardos does not
+// depend on the selection rule, so we fix the rule that makes runs
+// reproducible and results independent of map iteration order). Violated
+// events are tracked by a dense boolean array plus a lazy min-heap of
+// candidate indices, and the variable lists of all events are precomputed
+// once, so a resampling step costs O(affected events · cost of Bad) with no
+// map traffic on the hot path.
 package lll
 
 import (
@@ -30,28 +39,68 @@ type Instance struct {
 	Bad        func(event int, assignment []int) bool
 }
 
-// validate checks the instance description.
-func (in *Instance) validate() error {
+// compiled is the slice-backed form of an Instance: domains and the
+// event-variable incidence in CSR layout, so the solver and
+// DependencyDegree never call the Vars/DomainSize callbacks on a hot path.
+type compiled struct {
+	domains []int
+	// evVars/evOff: Vars(e) is evVars[evOff[e]:evOff[e+1]], copied verbatim
+	// (order and duplicates preserved, so resampling consumes rng draws
+	// exactly as a direct Vars(e) loop would).
+	evVars []int
+	evOff  []int
+	// veEvents/veOff: the events touching variable v, in increasing event
+	// order (the reverse CSR of evVars).
+	veEvents []int
+	veOff    []int
+}
+
+// compile validates the instance description and precomputes its slice form.
+func (in *Instance) compile() (*compiled, error) {
 	if in.NumVars < 0 || in.NumEvents < 0 {
-		return fmt.Errorf("lll: negative sizes")
+		return nil, fmt.Errorf("lll: negative sizes")
 	}
 	if in.DomainSize == nil || in.Vars == nil || in.Bad == nil {
-		return fmt.Errorf("lll: nil callback")
+		return nil, fmt.Errorf("lll: nil callback")
+	}
+	c := &compiled{
+		domains: make([]int, in.NumVars),
+		evOff:   make([]int, in.NumEvents+1),
+		veOff:   make([]int, in.NumVars+1),
 	}
 	for v := 0; v < in.NumVars; v++ {
-		if in.DomainSize(v) < 1 {
-			return fmt.Errorf("lll: variable %d has empty domain", v)
+		c.domains[v] = in.DomainSize(v)
+		if c.domains[v] < 1 {
+			return nil, fmt.Errorf("lll: variable %d has empty domain", v)
 		}
 	}
 	for e := 0; e < in.NumEvents; e++ {
-		for _, v := range in.Vars(e) {
+		vars := in.Vars(e)
+		for _, v := range vars {
 			if v < 0 || v >= in.NumVars {
-				return fmt.Errorf("lll: event %d references variable %d out of range", e, v)
+				return nil, fmt.Errorf("lll: event %d references variable %d out of range", e, v)
 			}
+			c.veOff[v+1]++
+		}
+		c.evVars = append(c.evVars, vars...)
+		c.evOff[e+1] = len(c.evVars)
+	}
+	for v := 0; v < in.NumVars; v++ {
+		c.veOff[v+1] += c.veOff[v]
+	}
+	c.veEvents = make([]int, len(c.evVars))
+	fill := append([]int(nil), c.veOff[:in.NumVars]...)
+	for e := 0; e < in.NumEvents; e++ {
+		for _, v := range c.evVars[c.evOff[e]:c.evOff[e+1]] {
+			c.veEvents[fill[v]] = e
+			fill[v]++
 		}
 	}
-	return nil
+	return c, nil
 }
+
+func (c *compiled) vars(e int) []int     { return c.evVars[c.evOff[e]:c.evOff[e+1]] }
+func (c *compiled) eventsOf(v int) []int { return c.veEvents[c.veOff[v]:c.veOff[v+1]] }
 
 // Result reports the outcome of a Solve call.
 type Result struct {
@@ -59,62 +108,123 @@ type Result struct {
 	Resamplings int
 }
 
+// minHeap is a binary min-heap of event indices with no deduplication; the
+// solver skips stale entries on pop (lazy deletion).
+type minHeap []int32
+
+func (h *minHeap) push(e int32) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() int32 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s[l] < s[smallest] {
+			smallest = l
+		}
+		if r < len(s) && s[r] < s[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	*h = s
+	return top
+}
+
 // Solve runs Moser–Tardos resampling: sample every variable uniformly, then
-// while some bad event holds, resample the variables of one violated event.
+// while some bad event holds, resample the variables of the lowest-indexed
+// violated event. For a fixed rng seed the run — assignment, resampling
+// count, and the sequence of resampled events — is fully deterministic.
 // maxResamplings caps the work; if exceeded, an error is returned (under the
 // LLL condition this indicates the cap was far too small or the instance
 // violates the condition).
 func Solve(in *Instance, rng *rand.Rand, maxResamplings int) (Result, error) {
-	if err := in.validate(); err != nil {
+	c, err := in.compile()
+	if err != nil {
 		return Result{}, err
 	}
 	assignment := make([]int, in.NumVars)
 	for v := range assignment {
-		assignment[v] = rng.Intn(in.DomainSize(v))
-	}
-	// varToEvents lets us recheck only events touching resampled variables.
-	varToEvents := make([][]int, in.NumVars)
-	for e := 0; e < in.NumEvents; e++ {
-		for _, v := range in.Vars(e) {
-			varToEvents[v] = append(varToEvents[v], e)
-		}
+		assignment[v] = rng.Intn(c.domains[v])
 	}
 
-	violated := make(map[int]bool)
+	// violated[e] is the ground truth; heap holds every violated event at
+	// least once (plus possibly stale copies, skipped on pop). A sorted
+	// array is a valid binary min-heap, so the initial scan needs no sifting.
+	violated := make([]bool, in.NumEvents)
+	heap := make(minHeap, 0, in.NumEvents)
 	for e := 0; e < in.NumEvents; e++ {
 		if in.Bad(e, assignment) {
 			violated[e] = true
+			heap = append(heap, int32(e))
 		}
+	}
+	// seen stamps deduplicate the neighbor recheck after a resampling (an
+	// event sharing several variables with the resampled one is rechecked
+	// once, not once per shared variable).
+	seen := make([]int, in.NumEvents)
+	for i := range seen {
+		seen[i] = -1
 	}
 
 	resamplings := 0
-	for len(violated) > 0 {
+	for len(heap) > 0 {
+		event := int(heap.pop())
+		if !violated[event] {
+			continue // stale heap entry
+		}
 		if resamplings >= maxResamplings {
-			return Result{}, fmt.Errorf("lll: exceeded %d resamplings with %d events still violated", maxResamplings, len(violated))
+			still := 0
+			for _, bad := range violated {
+				if bad {
+					still++
+				}
+			}
+			return Result{}, fmt.Errorf("lll: exceeded %d resamplings with %d events still violated", maxResamplings, still)
 		}
-		// Pick any violated event (map iteration order is fine: correctness
-		// of Moser-Tardos does not depend on the selection rule).
-		var event int
-		for e := range violated {
-			event = e
-			break
+		vars := c.vars(event)
+		for _, v := range vars {
+			assignment[v] = rng.Intn(c.domains[v])
 		}
-		for _, v := range in.Vars(event) {
-			assignment[v] = rng.Intn(in.DomainSize(v))
-		}
+		// The popped entry was consumed, so recompute the event's status
+		// from scratch along with its neighbors'.
+		violated[event] = false
 		resamplings++
-		// Recheck all events sharing a resampled variable.
-		for _, v := range in.Vars(event) {
-			for _, e := range varToEvents[v] {
+		for _, v := range vars {
+			for _, e := range c.eventsOf(v) {
+				if seen[e] == resamplings {
+					continue
+				}
+				seen[e] = resamplings
 				if in.Bad(e, assignment) {
-					violated[e] = true
+					if !violated[e] {
+						violated[e] = true
+						heap.push(int32(e))
+					}
 				} else {
-					delete(violated, e)
+					violated[e] = false
 				}
 			}
 		}
-		// The chosen event itself must be rechecked too (it shares its own
-		// variables, so the loop above covered it).
 	}
 	return Result{Assignment: assignment, Resamplings: resamplings}, nil
 }
@@ -128,26 +238,32 @@ func SymmetricConditionHolds(p float64, d int) bool {
 }
 
 // DependencyDegree computes the maximum, over events, of the number of other
-// events sharing at least one variable — the d of the symmetric LLL.
+// events sharing at least one variable — the d of the symmetric LLL. It uses
+// the compiled slice-backed incidence with stamp-based deduplication, so the
+// cost is linear in the size of the dependency relation.
 func DependencyDegree(in *Instance) int {
-	varToEvents := make(map[int][]int)
-	for e := 0; e < in.NumEvents; e++ {
-		for _, v := range in.Vars(e) {
-			varToEvents[v] = append(varToEvents[v], e)
-		}
+	c, err := in.compile()
+	if err != nil {
+		return 0
+	}
+	seen := make([]int, in.NumEvents)
+	for i := range seen {
+		seen[i] = -1
 	}
 	maxDeg := 0
 	for e := 0; e < in.NumEvents; e++ {
-		nbrs := map[int]bool{}
-		for _, v := range in.Vars(e) {
-			for _, f := range varToEvents[v] {
-				if f != e {
-					nbrs[f] = true
+		deg := 0
+		for _, v := range c.vars(e) {
+			for _, f := range c.eventsOf(v) {
+				if f == e || seen[f] == e {
+					continue
 				}
+				seen[f] = e
+				deg++
 			}
 		}
-		if len(nbrs) > maxDeg {
-			maxDeg = len(nbrs)
+		if deg > maxDeg {
+			maxDeg = deg
 		}
 	}
 	return maxDeg

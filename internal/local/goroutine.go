@@ -1,0 +1,167 @@
+package local
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"localadvice/internal/graph"
+)
+
+// RunGoroutine executes protocol on g with the given advice (nil for none)
+// using the goroutine-per-node message engine: one goroutine per node,
+// per-edge buffered channels, and a cond-var barrier per round. It mirrors
+// the LOCAL model operationally and is retained as the reference the sharded
+// scheduler (Run) is pinned against by the engine-equivalence property
+// tests; production callers should use Run.
+func RunGoroutine(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
+	n := g.N()
+
+	// Per-directed-edge channels, buffered so that a round's sends never
+	// block: ch[v][i] receives what v's i-th neighbor sent to v.
+	ch := make([][]chan Message, n)
+	for v := 0; v < n; v++ {
+		ch[v] = make([]chan Message, g.Degree(v))
+		for i := range ch[v] {
+			ch[v][i] = make(chan Message, 1)
+		}
+	}
+	// portAt[v][i] is the port index of v in the adjacency list of its i-th
+	// neighbor, so v can address the right channel of the neighbor.
+	pt := newPortTable(g)
+	portAt := make([][]int, n)
+	for v := 0; v < n; v++ {
+		portAt[v] = make([]int, g.Degree(v))
+		for i := range portAt[v] {
+			portAt[v][i] = pt.reversePort(g, v, i)
+		}
+	}
+
+	machines := newMachines(g, protocol, advice)
+
+	outputs := make([]any, n)
+	doneAt := make([]int, n)
+	var msgCount atomic.Int64
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	barrier := newBarrier(n)
+
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			deg := g.Degree(v)
+			inbox := make([]Message, deg)
+			done := false
+			for round := 1; ; round++ {
+				if round > maxRounds {
+					errs[v] = fmt.Errorf("local: node %d exceeded %d rounds", v, maxRounds)
+					barrier.cancel()
+					return
+				}
+				var outbox []Message
+				if !done {
+					outbox, done = machines[v].Round(round, inbox)
+					if done {
+						doneAt[v] = round
+						outputs[v] = machines[v].Output()
+					}
+				}
+				localMsgs := int64(0)
+				for i := 0; i < deg; i++ {
+					var m Message
+					if i < len(outbox) {
+						m = outbox[i]
+					}
+					if m != nil {
+						localMsgs++
+					}
+					w := g.Neighbors(v)[i]
+					ch[w][portAt[v][i]] <- m
+				}
+				if localMsgs > 0 {
+					msgCount.Add(localMsgs)
+				}
+				for i := 0; i < deg; i++ {
+					inbox[i] = <-ch[v][i]
+				}
+				// Global termination: wait at the barrier; stop when every
+				// node reported done.
+				allDone, cancelled := barrier.wait(done)
+				if cancelled {
+					return
+				}
+				if allDone {
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+
+	for v := 0; v < n; v++ {
+		if errs[v] != nil {
+			return nil, Stats{}, errs[v]
+		}
+	}
+	rounds := 0
+	for _, r := range doneAt {
+		if r > rounds {
+			rounds = r
+		}
+	}
+	return outputs, Stats{Rounds: rounds, Messages: int(msgCount.Load())}, nil
+}
+
+// barrier synchronizes n goroutines at the end of each round and aggregates
+// a per-node done flag; wait returns allDone=true when every participant
+// passed done=true this round.
+type barrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int
+	arrived   int
+	doneCount int
+	gen       int
+	allDone   bool
+	cancelled bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait(done bool) (allDone, cancelled bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cancelled {
+		return false, true
+	}
+	gen := b.gen
+	b.arrived++
+	if done {
+		b.doneCount++
+	}
+	if b.arrived == b.n {
+		b.allDone = b.doneCount == b.n
+		b.arrived = 0
+		b.doneCount = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.allDone, false
+	}
+	for gen == b.gen && !b.cancelled {
+		b.cond.Wait()
+	}
+	return b.allDone, b.cancelled
+}
+
+func (b *barrier) cancel() {
+	b.mu.Lock()
+	b.cancelled = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

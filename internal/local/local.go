@@ -4,12 +4,18 @@
 // unbounded local computation. The runtime of an algorithm is the number of
 // rounds until every node has produced its output.
 //
-// Two execution engines are provided.
+// Two execution models are provided, with multiple engines each.
 //
-// The message engine (Run) spawns one goroutine per node; each round every
-// node exchanges one message with each neighbor over per-edge channels and
-// performs local computation. This mirrors the model operationally and is
-// used by protocols that are naturally written as per-round state machines.
+// The message engine (Run) executes per-round state machines. Its default
+// implementation is a sharded synchronous-round scheduler: double-buffered
+// per-port inbox slabs indexed by a CSR port table, swept shard-by-shard by
+// a worker pool each round (see scheduler.go). LOCAL-model cost is rounds,
+// not messages, so replacing physical message passing with shared-memory
+// delivery is free — the scheduler is bit-identical in outputs, rounds, and
+// message counts to the operational engines. Those remain available:
+// RunGoroutine (one goroutine per node, per-edge channels, a round barrier)
+// and RunSequential (a single-threaded deterministic round loop), and the
+// equivalence property tests pin all three against each other.
 //
 // The ball engine (RunBall) exploits the standard equivalence "a T-round
 // LOCAL algorithm is a function of the radius-T view": it hands every node
@@ -17,16 +23,14 @@
 // round count. All advice-schema decoders in this codebase are written
 // against views.
 //
-// Both engines account rounds identically, and the engine-equivalence test
-// in this package checks they agree on a reference protocol.
+// All engines account rounds identically, and the engine-equivalence tests
+// in this package check they agree on reference protocols.
 package local
 
 import (
 	"fmt"
-	"sync"
 
 	"localadvice/internal/bitstr"
-	"localadvice/internal/graph"
 )
 
 // Advice assigns a bit string to every node (by node index). A nil Advice
@@ -101,9 +105,10 @@ type NodeInfo struct {
 // Machine is a per-node state machine for the message engine. Round is
 // called once per round, starting at round 1, with inbox[i] holding the
 // message received on port i (nil in round 1 and on ports whose neighbor
-// sent nothing). It returns one outgoing message per port (the slice may be
-// nil or contain nils) and done=true once the node has fixed its output.
-// After done, the node keeps forwarding nil messages.
+// sent nothing). The inbox slice is only valid for the duration of the
+// call. It returns one outgoing message per port (the slice may be nil or
+// contain nils) and done=true once the node has fixed its output. After
+// done, the node keeps forwarding nil messages.
 type Machine interface {
 	Round(round int, inbox []Message) (outbox []Message, done bool)
 	Output() any
@@ -123,178 +128,3 @@ type Stats struct {
 // maxRounds caps executions so that a buggy protocol fails fast instead of
 // hanging the test suite.
 const maxRounds = 1 << 20
-
-// Run executes protocol on g with the given advice (nil for none) using the
-// goroutine-per-node message engine, and returns each node's output plus
-// execution stats.
-func Run(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
-	n := g.N()
-	delta := g.MaxDegree()
-
-	// Per-directed-edge channels, buffered so that a round's sends never
-	// block: ch[v][i] receives what v's i-th neighbor sent to v.
-	ch := make([][]chan Message, n)
-	for v := 0; v < n; v++ {
-		ch[v] = make([]chan Message, g.Degree(v))
-		for i := range ch[v] {
-			ch[v][i] = make(chan Message, 1)
-		}
-	}
-	// portAt[v][i] is the port index of v in the adjacency list of its i-th
-	// neighbor, so v can address the right channel of the neighbor.
-	portAt := make([][]int, n)
-	for v := 0; v < n; v++ {
-		portAt[v] = make([]int, g.Degree(v))
-		for i, w := range g.Neighbors(v) {
-			for j, u := range g.Neighbors(w) {
-				if u == v && g.IncidentEdges(w)[j] == g.IncidentEdges(v)[i] {
-					portAt[v][i] = j
-				}
-			}
-		}
-	}
-
-	machines := make([]Machine, n)
-	for v := 0; v < n; v++ {
-		var adv bitstr.String
-		if v < len(advice) {
-			adv = advice[v]
-		}
-		machines[v] = protocol.NewMachine(NodeInfo{
-			ID:     g.ID(v),
-			Degree: g.Degree(v),
-			N:      n,
-			Delta:  delta,
-			Advice: adv,
-		})
-	}
-
-	outputs := make([]any, n)
-	doneAt := make([]int, n)
-	var msgCount int64
-	var msgMu sync.Mutex
-
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	barrier := newBarrier(n)
-
-	for v := 0; v < n; v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			deg := g.Degree(v)
-			inbox := make([]Message, deg)
-			done := false
-			for round := 1; ; round++ {
-				if round > maxRounds {
-					errs[v] = fmt.Errorf("local: node %d exceeded %d rounds", v, maxRounds)
-					barrier.cancel()
-					return
-				}
-				var outbox []Message
-				if !done {
-					outbox, done = machines[v].Round(round, inbox)
-					if done {
-						doneAt[v] = round
-						outputs[v] = machines[v].Output()
-					}
-				}
-				localMsgs := 0
-				for i := 0; i < deg; i++ {
-					var m Message
-					if i < len(outbox) {
-						m = outbox[i]
-					}
-					if m != nil {
-						localMsgs++
-					}
-					w := g.Neighbors(v)[i]
-					ch[w][portAt[v][i]] <- m
-				}
-				if localMsgs > 0 {
-					msgMu.Lock()
-					msgCount += int64(localMsgs)
-					msgMu.Unlock()
-				}
-				for i := 0; i < deg; i++ {
-					inbox[i] = <-ch[v][i]
-				}
-				// Global termination: wait at the barrier; stop when every
-				// node reported done.
-				allDone, cancelled := barrier.wait(done)
-				if cancelled {
-					return
-				}
-				if allDone {
-					return
-				}
-			}
-		}(v)
-	}
-	wg.Wait()
-
-	for v := 0; v < n; v++ {
-		if errs[v] != nil {
-			return nil, Stats{}, errs[v]
-		}
-	}
-	rounds := 0
-	for _, r := range doneAt {
-		if r > rounds {
-			rounds = r
-		}
-	}
-	return outputs, Stats{Rounds: rounds, Messages: int(msgCount)}, nil
-}
-
-// barrier synchronizes n goroutines at the end of each round and aggregates
-// a per-node done flag; wait returns allDone=true when every participant
-// passed done=true this round.
-type barrier struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	n         int
-	arrived   int
-	doneCount int
-	gen       int
-	allDone   bool
-	cancelled bool
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) wait(done bool) (allDone, cancelled bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.cancelled {
-		return false, true
-	}
-	gen := b.gen
-	b.arrived++
-	if done {
-		b.doneCount++
-	}
-	if b.arrived == b.n {
-		b.allDone = b.doneCount == b.n
-		b.arrived = 0
-		b.doneCount = 0
-		b.gen++
-		b.cond.Broadcast()
-		return b.allDone, false
-	}
-	for gen == b.gen && !b.cancelled {
-		b.cond.Wait()
-	}
-	return b.allDone, b.cancelled
-}
-
-func (b *barrier) cancel() {
-	b.mu.Lock()
-	b.cancelled = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}

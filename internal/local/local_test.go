@@ -322,7 +322,7 @@ func TestSequentialEngineMatchesGoroutineEngine(t *testing.T) {
 			adv[v] = bitstr.New(rng.Intn(2))
 		}
 		for pname, p := range protocols {
-			concOut, concStats, err := Run(g, p, adv)
+			concOut, concStats, err := RunGoroutine(g, p, adv)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", gname, pname, err)
 			}

@@ -205,3 +205,122 @@ func TestRunBallLargeGraphDefaultParallel(t *testing.T) {
 		}
 	}
 }
+
+// messageProtocols is the protocol sweep of the scheduler-equivalence
+// property test: flooding with uniform termination, staggered termination,
+// and the view-gathering protocol (whose outputs are full view fingerprints).
+func messageProtocols() map[string]Protocol {
+	return map[string]Protocol{
+		"maxID3":  &maxIDProtocol{radius: 3},
+		"stagger": earlyStopProtocol{},
+		"gather":  &GatherProtocol{Radius: 2, Decide: viewFingerprint},
+	}
+}
+
+// TestSchedulerMatchesGoroutineEngine is the engine-equivalence property
+// test of the sharded scheduler: for every graph family, seed, and protocol,
+// the scheduler with worker counts 1, 2, and 8, the default Run dispatch,
+// and the sequential engine all produce outputs, rounds, and message counts
+// identical to the goroutine engine.
+func TestSchedulerMatchesGoroutineEngine(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		for gname, g := range propertyGraphs(t, seed) {
+			rng := rand.New(rand.NewSource(seed * 31))
+			advice := make(Advice, g.N())
+			for v := range advice {
+				advice[v] = bitstr.New(rng.Intn(2))
+			}
+			for pname, p := range messageProtocols() {
+				refOut, refStats, err := RunGoroutine(g, p, advice)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: goroutine engine: %v", seed, gname, pname, err)
+				}
+				check := func(engine string, out []any, stats Stats, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("seed %d %s/%s: %s: %v", seed, gname, pname, engine, err)
+					}
+					if stats != refStats {
+						t.Fatalf("seed %d %s/%s: %s stats %+v, goroutine %+v",
+							seed, gname, pname, engine, stats, refStats)
+					}
+					for v := range out {
+						if out[v] != refOut[v] {
+							t.Fatalf("seed %d %s/%s node %d: %s output %v, goroutine %v",
+								seed, gname, pname, v, engine, out[v], refOut[v])
+						}
+					}
+				}
+				for _, w := range []int{1, 2, 8} {
+					out, stats, err := RunMessageConfig(g, p, advice, RunConfig{Workers: w})
+					check(fmt.Sprintf("scheduler(workers=%d)", w), out, stats, err)
+				}
+				defOut, defStats, err := Run(g, p, advice)
+				check("Run(default)", defOut, defStats, err)
+				seqOut, seqStats, err := RunSequential(g, p, advice)
+				check("sequential", seqOut, seqStats, err)
+			}
+		}
+	}
+}
+
+// neverDoneProtocol never terminates; the scheduler must fail at maxRounds
+// instead of spinning forever.
+type neverDoneProtocol struct{}
+
+type neverDoneMachine struct{ degree int }
+
+func (neverDoneProtocol) NewMachine(info NodeInfo) Machine {
+	return &neverDoneMachine{degree: info.Degree}
+}
+
+func (m *neverDoneMachine) Round(int, []Message) ([]Message, bool) {
+	return make([]Message, m.degree), false
+}
+
+func (m *neverDoneMachine) Output() any { return nil }
+
+func TestSchedulerMaxRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins maxRounds rounds")
+	}
+	if _, _, err := Run(graph.Path(2), neverDoneProtocol{}, nil); err == nil {
+		t.Fatal("non-terminating protocol did not error")
+	}
+}
+
+// TestPortTableMatchesNestedScan pins the O(n+m) reverse-port derivation
+// against the historical O(Σ deg(v)·deg(w)) nested-neighbor definition,
+// including on a graph whose adjacency order was permuted by ID sorting.
+func TestPortTableMatchesNestedScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sorted := graph.RandomGNP(30, 0.2, rng)
+	graph.AssignPermutedIDs(sorted, rng)
+	sorted.SortAdjacencyByID()
+	gs := map[string]*graph.Graph{
+		"grid":     graph.Grid2D(5, 6),
+		"star":     graph.Star(7),
+		"isolated": graph.New(4),
+		"gnp":      graph.RandomGNP(25, 0.15, rng),
+		"sortedID": sorted,
+	}
+	for name, g := range gs {
+		pt := newPortTable(g)
+		for v := 0; v < g.N(); v++ {
+			if got, want := int(pt.off[v+1]-pt.off[v]), g.Degree(v); got != want {
+				t.Fatalf("%s: node %d has %d slots, degree %d", name, v, got, want)
+			}
+			for i, w := range g.Neighbors(v) {
+				want := -1
+				for j, u := range g.Neighbors(w) {
+					if u == v && g.IncidentEdges(w)[j] == g.IncidentEdges(v)[i] {
+						want = j
+					}
+				}
+				if got := pt.reversePort(g, v, i); got != want {
+					t.Fatalf("%s: reversePort(%d, %d) = %d, nested scan says %d", name, v, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package local
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+// This file implements the sharded synchronous-round scheduler, the default
+// message engine behind Run. The LOCAL model charges only for rounds, never
+// for messages ("message reduction is a free lunch"), so the simulator is
+// free to replace physical message passing with shared memory as long as the
+// round semantics are preserved exactly.
+//
+// Layout: the per-port inboxes of all nodes live in two flat []Message slabs
+// (cur and next) indexed by the CSR portTable — no per-edge channels, no
+// per-node inbox allocations. Each round every node reads its inbox slice
+// from cur and writes one message per port into next at the precomputed
+// reverse-port slot of the receiving neighbor. Every directed slot has
+// exactly one writer per round (the unique sender on that edge) and cur is
+// read-only while next is written, so shards of nodes can be swept by
+// parallel workers without locks; the only synchronization is the WaitGroup
+// join at the end of each round, after which the slabs swap roles.
+//
+// Determinism: outputs, doneAt, and done flags are written by node index,
+// message counts are summed (order-independent), and machines communicate
+// only through the slabs — so outputs, Stats.Rounds, and Stats.Messages are
+// bit-identical for every worker count and identical to the goroutine and
+// sequential engines.
+
+// newMachines instantiates one protocol machine per node; shared by all
+// message engines so NodeInfo construction cannot drift between them.
+func newMachines(g *graph.Graph, protocol Protocol, advice Advice) []Machine {
+	n := g.N()
+	delta := g.MaxDegree()
+	machines := make([]Machine, n)
+	for v := 0; v < n; v++ {
+		var adv bitstr.String
+		if v < len(advice) {
+			adv = advice[v]
+		}
+		machines[v] = protocol.NewMachine(NodeInfo{
+			ID:     g.ID(v),
+			Degree: g.Degree(v),
+			N:      n,
+			Delta:  delta,
+			Advice: adv,
+		})
+	}
+	return machines
+}
+
+// Run executes protocol on g with the given advice (nil for none) using the
+// sharded synchronous-round scheduler and returns each node's output plus
+// execution stats. Small graphs run on a single worker (fan-out overhead
+// dominates there); large graphs use the process default worker count (see
+// SetDefaultWorkers). Outputs and Stats are identical for any worker count,
+// and identical to RunGoroutine and RunSequential.
+func Run(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
+	workers := int(defaultWorkers.Load())
+	if g.N() < parallelThreshold && workers == 0 {
+		workers = 1
+	}
+	return RunMessageConfig(g, protocol, advice, RunConfig{Workers: workers})
+}
+
+// RunMessageConfig is Run with an explicit worker count (0 = GOMAXPROCS).
+func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig) ([]any, Stats, error) {
+	n := g.N()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	pt := newPortTable(g)
+	machines := newMachines(g, protocol, advice)
+	cur := make([]Message, pt.slots())
+	next := make([]Message, pt.slots())
+	done := make([]bool, n)
+	doneAt := make([]int, n)
+	outputs := make([]any, n)
+	var msgCount atomic.Int64
+
+	// sweep advances every node in [lo, hi) by one round: read the inbox
+	// from cur, step the machine, deliver the outbox into next. It reports
+	// whether every node in the shard has terminated.
+	sweep := func(lo, hi, round int, cur, next []Message) bool {
+		sent := int64(0)
+		allDone := true
+		for v := lo; v < hi; v++ {
+			start, end := pt.off[v], pt.off[v+1]
+			var outbox []Message
+			if !done[v] {
+				// The inbox slice aliases the slab and is valid only for
+				// the duration of the call (same contract as the other
+				// engines, which reuse a per-node buffer).
+				outbox, done[v] = machines[v].Round(round, cur[start:end])
+				if done[v] {
+					doneAt[v] = round
+					outputs[v] = machines[v].Output()
+				}
+			}
+			if !done[v] {
+				allDone = false
+			}
+			// Every port is written every round — nil from terminated or
+			// silent nodes — so next never needs clearing between rounds.
+			deg := int(end - start)
+			for i := 0; i < deg; i++ {
+				var m Message
+				if i < len(outbox) {
+					m = outbox[i]
+				}
+				if m != nil {
+					sent++
+				}
+				next[pt.sendSlot[start+int32(i)]] = m
+			}
+		}
+		if sent > 0 {
+			msgCount.Add(sent)
+		}
+		return allDone
+	}
+
+	shard := 0
+	var shardDone []bool
+	if workers > 1 {
+		shard = (n + workers - 1) / workers
+		shardDone = make([]bool, workers)
+	}
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, Stats{}, fmt.Errorf("local: scheduler exceeded %d rounds", maxRounds)
+		}
+		var allDone bool
+		if workers <= 1 {
+			allDone = sweep(0, n, round, cur, next)
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				lo := w * shard
+				hi := min(lo+shard, n)
+				if lo >= hi {
+					shardDone[w] = true
+					continue
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					shardDone[w] = sweep(lo, hi, round, cur, next)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			allDone = true
+			for _, d := range shardDone {
+				allDone = allDone && d
+			}
+		}
+		cur, next = next, cur
+		if allDone {
+			break
+		}
+	}
+
+	rounds := 0
+	for _, r := range doneAt {
+		if r > rounds {
+			rounds = r
+		}
+	}
+	return outputs, Stats{Rounds: rounds, Messages: int(msgCount.Load())}, nil
+}

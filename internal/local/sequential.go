@@ -3,46 +3,29 @@ package local
 import (
 	"fmt"
 
-	"localadvice/internal/bitstr"
 	"localadvice/internal/graph"
 )
 
 // RunSequential executes a message protocol with a single-threaded,
 // perfectly deterministic round loop — the same semantics as Run (the
-// goroutine engine), without concurrency. It exists for three reasons:
-// reproducible debugging of protocols, a cross-check that the goroutine
-// engine's synchronization is faithful (the engines-agree tests), and fast
-// execution when goroutine-per-node overhead dominates.
+// sharded scheduler) and RunGoroutine, without concurrency or slab
+// indexing. It exists as an independently-written third implementation:
+// reproducible debugging of protocols and a triangulation point for the
+// engines-agree tests (three separate engines agreeing is much stronger
+// evidence than two).
 func RunSequential(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
 	n := g.N()
-	delta := g.MaxDegree()
-
-	machines := make([]Machine, n)
-	for v := 0; v < n; v++ {
-		var adv bitstr.String
-		if v < len(advice) {
-			adv = advice[v]
-		}
-		machines[v] = protocol.NewMachine(NodeInfo{
-			ID:     g.ID(v),
-			Degree: g.Degree(v),
-			N:      n,
-			Delta:  delta,
-			Advice: adv,
-		})
-	}
+	machines := newMachines(g, protocol, advice)
 
 	// portAt[v][i]: the port of v in the adjacency list of its i-th
-	// neighbor (same wiring as the goroutine engine).
+	// neighbor (same wiring as the other engines, from the shared O(n+m)
+	// port table).
+	pt := newPortTable(g)
 	portAt := make([][]int, n)
 	for v := 0; v < n; v++ {
 		portAt[v] = make([]int, g.Degree(v))
-		for i, w := range g.Neighbors(v) {
-			for j, u := range g.Neighbors(w) {
-				if u == v && g.IncidentEdges(w)[j] == g.IncidentEdges(v)[i] {
-					portAt[v][i] = j
-				}
-			}
+		for i := range portAt[v] {
+			portAt[v][i] = pt.reversePort(g, v, i)
 		}
 	}
 

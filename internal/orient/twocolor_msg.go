@@ -10,7 +10,8 @@ import (
 )
 
 // This file gives TwoColoringStage a second decoder built on the
-// goroutine-per-node message engine (local.Run) instead of the view engine:
+// message engine (local.Run, the sharded round scheduler) instead of the
+// view engine:
 // the marked ruling-set nodes flood (color, distance) waves and everyone
 // else adopts the parity of the first wave to arrive. It demonstrates that
 // schema decoders are ordinary distributed protocols — the equivalence test

@@ -4,9 +4,14 @@
 # Usage: scripts/bench.sh [outfile] [bench-regex]
 #
 # Produces a JSON file (default BENCH_<date>.json) with one record per
-# benchmark: name, iterations, ns/op, and the allocation columns when the
-# benchmark reports them. Raw `go test -bench` output is kept alongside the
-# parsed records so nothing is lost to parsing.
+# benchmark: name, iterations, ns/op, the allocation columns when the
+# benchmark reports them, and any custom metrics emitted via b.ReportMetric
+# (the message-engine benchmarks report rounds/s; the Moser–Tardos
+# benchmarks report resamplings/s). Raw `go test -bench` output is kept
+# alongside the parsed records so nothing is lost to parsing.
+#
+# `make bench` runs the full sweep; `make bench-msg` restricts the regex to
+# the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
 
 out=${1:-BENCH_$(date +%F).json}
@@ -21,15 +26,18 @@ awk -v date="$(date +%F)" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
-    name = $1; iters = $2; ns = $3
-    bpo = ""; apo = ""
-    for (i = 4; i <= NF; i++) {
-        if ($(i) == "B/op")      bpo = $(i - 1)
-        if ($(i) == "allocs/op") apo = $(i - 1)
+    name = $1; iters = $2
+    rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    # Past the name and iteration count, a bench line is value/unit pairs:
+    # "123 ns/op 456 B/op 7 allocs/op 89 rounds/s ...".
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $(i); unit = $(i + 1)
+        if (unit == "ns/op")           key = "ns_per_op"
+        else if (unit == "B/op")       key = "bytes_per_op"
+        else if (unit == "allocs/op")  key = "allocs_per_op"
+        else { key = unit; gsub(/[^A-Za-z0-9]+/, "_", key) }
+        rec = rec sprintf(", \"%s\": %s", key, val)
     }
-    rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
-    if (bpo != "") rec = rec sprintf(", \"bytes_per_op\": %s", bpo)
-    if (apo != "") rec = rec sprintf(", \"allocs_per_op\": %s", apo)
     rec = rec "}"
     recs[n++] = rec
 }

@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test check bench bench-msg exp clean
+.PHONY: all build test check check-race fuzz bench bench-msg exp clean
 
 all: build
 
@@ -11,10 +11,26 @@ build:
 test:
 	$(GO) test ./...
 
-# CI gate: vet plus the race-enabled suite.
+# CI gate: vet, the full suite (which replays every fuzz seed corpus), and a
+# race-enabled run of the engine-equivalence and fault-injection property
+# tests — the tests most likely to catch a data race introduced in the
+# parallel engines.
 check:
 	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize' ./internal/local ./internal/fault
+
+# Exhaustive race gate (slower): the whole suite under the race detector.
+check-race:
+	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Short fuzzing bursts on the parser and advice-codec fuzz targets; the seed
+# corpora alone run on every plain `go test`.
+fuzz:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph
+	$(GO) test -fuzz=FuzzDecodeVarArbitraryAdvice -fuzztime=30s ./internal/orient
+	$(GO) test -fuzz=FuzzDecodeArbitraryBits -fuzztime=30s ./internal/growth
 
 # Full benchmark sweep, recorded as BENCH_<date>.json for regression tracking.
 bench:

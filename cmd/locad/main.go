@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	locad exp [E1 ... E8]        run experiments (all by default)
+//	locad exp [E1 ... E9]        run experiments (all by default)
+//	locad fault -schema color3 -class flip -rate 0.05 -runs 10
 //	locad orient  -graph cycle -n 200
 //	locad color3  -graph cycle -n 120
 //	locad deltacolor -graph torus -n 48
@@ -57,6 +58,8 @@ func run(args []string) error {
 		return cmdGraphInfo(args[1:])
 	case "engine":
 		return cmdEngine(args[1:])
+	case "fault":
+		return cmdFault(args[1:])
 	case "prove":
 		return cmdProve(args[1:])
 	case "verifyproof":
@@ -80,7 +83,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `locad — local computation with advice (PODC 2024 reproduction)
 
 subcommands:
-  exp [E1 ... E8]   run experiments and print their tables (all by default)
+  exp [E1 ... E9]   run experiments and print their tables (all by default)
   orient            encode+decode an almost-balanced orientation
   color3            encode+decode a 3-coloring with 1 bit per node
   deltacolor        encode+decode a Δ-coloring via the Section 6 pipeline
@@ -89,6 +92,9 @@ subcommands:
   engine            run the radius-T view-gathering reference protocol on a
                     chosen execution engine (-engine {ball,message,goroutine,
                     sequential} -workers <w>) and report rounds/messages/time
+  fault             inject faults (-class {flip,truncate,reassign,crash}) into
+                    a schema run or an engine run and report the outcome of
+                    every repetition (valid / detected / crashed)
   prove             emit a 1-bit locally checkable proof that an LCL is solvable
   verifyproof       run the distributed verifier on a proof string
   dot               render a graph (+ optional schema overlay) as Graphviz DOT
@@ -155,18 +161,18 @@ func makeGraph(kind string, n int, seed int64) (*graph.Graph, error) {
 	rng := rand.New(rand.NewSource(seed))
 	switch kind {
 	case "cycle":
-		return graph.Cycle(n), nil
+		return graph.TryCycle(n)
 	case "path":
-		return graph.Path(n), nil
+		return graph.TryPath(n)
 	case "grid":
 		side := intSqrt(n)
-		return graph.Grid2D(side, (n+side-1)/side), nil
+		return graph.TryGrid2D(side, (n+side-1)/side)
 	case "torus":
 		side := intSqrt(n)
 		if side < 3 {
 			side = 3
 		}
-		return graph.Torus2D(side, (n+side-1)/side), nil
+		return graph.TryTorus2D(side, (n+side-1)/side)
 	case "regular":
 		return graph.RandomRegular(n, 4, rng)
 	case "planted3":

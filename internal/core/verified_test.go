@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"localadvice/internal/fault"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// stubSchema is a controllable schema for exercising the verified-decode
+// contract: its decoder returns a fixed solution or a fixed error.
+type stubSchema struct {
+	sol *lcl.Solution
+	err error
+}
+
+func (stubSchema) Name() string                              { return "stub" }
+func (stubSchema) Problem() lcl.Problem                      { return lcl.Coloring{K: 3} }
+func (stubSchema) Encode(*graph.Graph) (local.Advice, error) { return nil, nil }
+func (s stubSchema) Decode(*graph.Graph, local.Advice) (*lcl.Solution, local.Stats, error) {
+	return s.sol, local.Stats{}, s.err
+}
+
+func TestDecodeVerified(t *testing.T) {
+	g := graph.Cycle(6)
+
+	valid := lcl.NewSolution(g)
+	for v := 0; v < g.N(); v++ {
+		valid.Node[v] = v%3 + 1
+	}
+	if _, _, err := DecodeVerified(stubSchema{sol: valid}, g, nil); err != nil {
+		t.Fatalf("valid output rejected: %v", err)
+	}
+
+	// A monochromatic "coloring" decodes without error but cannot verify:
+	// it must surface as detected corruption, never as a solution.
+	invalid := lcl.NewSolution(g)
+	for v := 0; v < g.N(); v++ {
+		invalid.Node[v] = 1
+	}
+	sol, _, err := DecodeVerified(stubSchema{sol: invalid}, g, nil)
+	if sol != nil {
+		t.Fatal("invalid output escaped as a solution")
+	}
+	if !errors.Is(err, fault.ErrDetectedCorruption) {
+		t.Fatalf("err = %v, want ErrDetectedCorruption", err)
+	}
+
+	// Decoder errors pass through (and are not mislabeled as corruption
+	// detected by the verifier).
+	decodeErr := fmt.Errorf("garbled advice")
+	if _, _, err := DecodeVerified(stubSchema{err: decodeErr}, g, nil); !errors.Is(err, decodeErr) {
+		t.Fatalf("err = %v, want wrapped decode error", err)
+	}
+}

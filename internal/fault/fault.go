@@ -1,0 +1,176 @@
+// Package fault implements deterministic fault injection for the LOCAL
+// simulator and the typed errors of the robustness layer.
+//
+// The paper's advice schemas (Definition 2) only promise a valid output when
+// the prover's advice arrives intact and every node participates for the
+// whole execution. This package makes violations of those preconditions
+// first-class, injectable, observable events: a Plan describes a
+// deterministic fault-injection experiment (advice bit flips, advice
+// truncation, a node crash at a chosen round, adversarial ID reassignment),
+// the engines consume it through local.RunConfig, and experiment E9 measures
+// that every verified-decode schema either produces a valid solution or
+// reports corruption — never a silently wrong output.
+//
+// Determinism: a Plan is pure data plus a seed. Applying the same Plan to
+// the same inputs always injects the same faults, so every fault experiment
+// is exactly reproducible, independent of engine and worker count.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+// Sentinel errors of the robustness layer. Callers match them with
+// errors.Is; concrete errors wrap them with context.
+var (
+	// ErrDetectedCorruption tags every error raised because a decoder or
+	// verifier detected that its input violated the model's preconditions
+	// (corrupted advice, inconsistent claims, an invalid decoded solution).
+	ErrDetectedCorruption = errors.New("fault: detected corruption")
+
+	// ErrCrashed tags the per-node output of a node crashed by a Plan.
+	ErrCrashed = errors.New("fault: node crashed")
+)
+
+// CrashError is the output value a crashed node leaves behind: the engines
+// record it in the node's output slot so callers can tell "this node died at
+// round R" apart from a decoding failure. It unwraps to ErrCrashed.
+type CrashError struct {
+	Node  int // node index
+	Round int // first round the node did not participate in
+}
+
+func (e CrashError) Error() string {
+	return fmt.Sprintf("fault: node %d crashed at round %d", e.Node, e.Round)
+}
+
+// Unwrap lets errors.Is(err, ErrCrashed) match.
+func (CrashError) Unwrap() error { return ErrCrashed }
+
+// Plan describes one deterministic fault-injection experiment. The zero
+// value (and a nil *Plan) injects nothing; engines treat it as fault-free.
+type Plan struct {
+	// Seed drives every random choice of the plan. Equal seeds mean equal
+	// injected faults on equal inputs.
+	Seed int64
+
+	// FlipRate is the per-advice-bit flip probability in [0, 1]: each bit of
+	// each node's advice string is independently inverted with this rate.
+	FlipRate float64
+
+	// TruncateRate is the per-node truncation probability in [0, 1]: each
+	// node with non-empty advice independently loses a random suffix of its
+	// advice string (possibly all of it) with this rate — the "advice
+	// arrived incomplete" fault.
+	TruncateRate float64
+
+	// CrashNode / CrashRound crash one node: from round CrashRound on, node
+	// CrashNode stops participating (it sends nothing and never produces an
+	// output; its output slot holds a CrashError). CrashRound <= 0 disables
+	// the crash. In the ball engine, which has no explicit rounds, the node
+	// crashes iff CrashRound <= the decoding radius.
+	CrashNode  int
+	CrashRound int
+
+	// ReassignIDs adversarially permutes the node identifiers (IDs remain
+	// unique, so the graph stays a legal LOCAL input, but every ID-derived
+	// rule the prover relied on is now wrong).
+	ReassignIDs bool
+}
+
+// Active reports whether the plan injects any fault at all. It is safe to
+// call on a nil plan.
+func (p *Plan) Active() bool {
+	return p != nil && (p.FlipRate > 0 || p.TruncateRate > 0 || p.CrashRound > 0 || p.ReassignIDs)
+}
+
+// Crashes reports whether node is crashed (non-participating) at the given
+// 1-based round under the plan. Safe on a nil plan.
+func (p *Plan) Crashes(node, round int) bool {
+	return p != nil && p.CrashRound > 0 && node == p.CrashNode && round >= p.CrashRound
+}
+
+// Report summarizes the faults a Plan actually injected into one execution,
+// so experiments can correlate observed behavior with injected damage.
+type Report struct {
+	FlippedBits    int  // advice bits inverted
+	TruncatedNodes int  // nodes whose advice lost a suffix
+	ReassignedIDs  bool // whether the ID permutation was applied
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("fault: flipped %d bits, truncated %d nodes, reassigned IDs: %v",
+		r.FlippedBits, r.TruncatedNodes, r.ReassignedIDs)
+}
+
+// Apply injects the plan's structural faults into a run's inputs and returns
+// the graph and advice the engine should execute with, plus a report of the
+// injected damage. The inputs are never mutated: corrupted advice is a fresh
+// slice and ID reassignment clones the graph. When the plan is inactive the
+// inputs are returned unchanged (same pointers). Crash faults are not
+// handled here — they are a runtime behavior the engines enforce via
+// Crashes/CrashedWithin.
+func (p *Plan) Apply(g *graph.Graph, advice []bitstr.String) (*graph.Graph, []bitstr.String, Report) {
+	var rep Report
+	if !p.Active() {
+		return g, advice, rep
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	if (p.FlipRate > 0 || p.TruncateRate > 0) && advice != nil {
+		advice = corruptAdvice(rng, p.FlipRate, p.TruncateRate, advice, &rep)
+	}
+	if p.ReassignIDs {
+		g = reassignIDs(g, rng)
+		rep.ReassignedIDs = true
+	}
+	return g, advice, rep
+}
+
+// corruptAdvice returns a copy of advice with per-bit flips and per-node
+// suffix truncations applied. Nodes are visited in index order and bits in
+// position order, so the corruption depends only on the RNG stream.
+func corruptAdvice(rng *rand.Rand, flipRate, truncateRate float64, advice []bitstr.String, rep *Report) []bitstr.String {
+	out := make([]bitstr.String, len(advice))
+	for v, s := range advice {
+		bits := s.Bits()
+		if flipRate > 0 {
+			for i := range bits {
+				if rng.Float64() < flipRate {
+					bits[i] = 1 - bits[i]
+					rep.FlippedBits++
+				}
+			}
+		}
+		if truncateRate > 0 && len(bits) > 0 && rng.Float64() < truncateRate {
+			bits = bits[:rng.Intn(len(bits))]
+			rep.TruncatedNodes++
+		}
+		out[v] = bitstr.New(bits...)
+	}
+	return out
+}
+
+// reassignIDs returns a clone of g whose node identifiers are a uniformly
+// random permutation of the original identifier set. IDs stay unique and
+// positive, so the result is a legal LOCAL input — but any rule the prover
+// derived from the original IDs is now wrong.
+func reassignIDs(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.N()
+	ids := make([]int64, n)
+	for v := 0; v < n; v++ {
+		ids[v] = g.ID(v)
+	}
+	rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	h := g.Clone()
+	if err := h.SetIDs(ids); err != nil {
+		// A permutation of unique IDs cannot collide; this is unreachable
+		// unless the input graph was already broken.
+		panic(fmt.Sprintf("fault: reassigned IDs rejected: %v", err))
+	}
+	return h
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+func TestPlanActive(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		want bool
+	}{
+		{nil, false},
+		{&Plan{}, false},
+		{&Plan{Seed: 9}, false},
+		{&Plan{FlipRate: 0.1}, true},
+		{&Plan{TruncateRate: 0.1}, true},
+		{&Plan{ReassignIDs: true}, true},
+		{&Plan{CrashRound: 1}, true},
+		{&Plan{CrashNode: 3}, false}, // a crash needs a positive round
+	}
+	for _, c := range cases {
+		if got := c.plan.Active(); got != c.want {
+			t.Errorf("Active(%+v) = %v, want %v", c.plan, got, c.want)
+		}
+	}
+}
+
+func TestCrashes(t *testing.T) {
+	plan := &Plan{CrashNode: 4, CrashRound: 3}
+	cases := []struct {
+		node, round int
+		want        bool
+	}{
+		{4, 3, true},
+		{4, 7, true},  // crashed nodes stay crashed
+		{4, 2, false}, // not yet
+		{5, 3, false}, // wrong node
+	}
+	for _, c := range cases {
+		if got := plan.Crashes(c.node, c.round); got != c.want {
+			t.Errorf("Crashes(%d, %d) = %v, want %v", c.node, c.round, got, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Crashes(0, 0) {
+		t.Error("nil plan crashes")
+	}
+	if (&Plan{CrashNode: 4}).Crashes(4, 5) {
+		t.Error("zero CrashRound must mean no crash (round 0 is reserved for 'disabled')")
+	}
+}
+
+func TestCrashErrorUnwrap(t *testing.T) {
+	err := CrashError{Node: 2, Round: 5}
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal("CrashError does not unwrap to ErrCrashed")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestTruncationOnlyShortens(t *testing.T) {
+	g := graph.Cycle(50)
+	advice := make([]bitstr.String, g.N())
+	for v := range advice {
+		advice[v] = bitstr.New(1, 1, 1, 1)
+	}
+	plan := &Plan{Seed: 3, TruncateRate: 0.5}
+	_, fadv, rep := plan.Apply(g, advice)
+	if rep.TruncatedNodes == 0 {
+		t.Fatal("truncation rate 0.5 truncated nothing")
+	}
+	truncated := 0
+	for v := range fadv {
+		if fadv[v].Len() > 4 {
+			t.Fatalf("truncation lengthened node %d's advice to %d bits", v, fadv[v].Len())
+		}
+		if fadv[v].Len() < 4 {
+			truncated++
+		}
+	}
+	if truncated != rep.TruncatedNodes {
+		t.Fatalf("report says %d truncated nodes, observed %d", rep.TruncatedNodes, truncated)
+	}
+}
+
+func TestReassignPreservesIDMultiset(t *testing.T) {
+	g := graph.Cycle(30)
+	plan := &Plan{Seed: 11, ReassignIDs: true}
+	fg, _, rep := plan.Apply(g, nil)
+	if !rep.ReassignedIDs {
+		t.Fatal("report does not record the reassignment")
+	}
+	if fg == g {
+		t.Fatal("reassignment did not clone the graph")
+	}
+	seen := map[int64]bool{}
+	for v := 0; v < fg.N(); v++ {
+		seen[fg.ID(v)] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if !seen[g.ID(v)] {
+			t.Fatalf("ID %d vanished in reassignment", g.ID(v))
+		}
+	}
+}

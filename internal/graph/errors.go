@@ -1,0 +1,24 @@
+package graph
+
+import "errors"
+
+// Typed errors of the graph layer. Constructors and the edge-list parser
+// wrap these sentinels so callers (the locad CLI, the fault experiments)
+// can classify failures with errors.Is instead of string matching.
+var (
+	// ErrBadEdge tags rejected edge insertions: out-of-range endpoints,
+	// loops, and duplicate edges.
+	ErrBadEdge = errors.New("graph: bad edge")
+
+	// ErrBadID tags rejected identifier assignments: wrong count,
+	// non-positive, or duplicate IDs.
+	ErrBadID = errors.New("graph: bad id")
+
+	// ErrParse tags malformed edge-list input, always with a line number in
+	// the message.
+	ErrParse = errors.New("graph: parse error")
+
+	// ErrBadSize tags generator calls whose size parameters are outside the
+	// family's domain (e.g. a 2-node cycle).
+	ErrBadSize = errors.New("graph: bad generator size")
+)

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadEdgeList pins the parser's two contracts: it never panics, whatever
+// the input, and every rejection is a typed ErrParse; any input it accepts
+// must round-trip exactly through WriteEdgeList. The seed corpus runs as part
+// of the normal test suite; `go test -fuzz=FuzzReadEdgeList ./internal/graph`
+// explores further.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("n 4\ne 0 1\ne 1 2\ne 2 3\n"))
+	f.Add([]byte("# comment\n\nn 3\nid 0 7\nid 1 5\nid 2 9\ne 0 1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("n"))
+	f.Add([]byte("n -1"))
+	f.Add([]byte("n 99999999999999999999"))
+	f.Add([]byte("e 0 1\nn 2\n"))
+	f.Add([]byte("n 2\nn 2\n"))
+	f.Add([]byte("n 2\ne 0 0\n"))
+	f.Add([]byte("n 2\ne 0 1\ne 0 1\n"))
+	f.Add([]byte("n 2\ne 0 5\n"))
+	f.Add([]byte("n 2\nid 0 3\n"))
+	f.Add([]byte("n 2\nid 0 3\nid 1 3\n"))
+	f.Add([]byte("n 2\nid 0 0\nid 1 1\n"))
+	f.Add([]byte("n 3\nx 1 2\n"))
+	f.Add([]byte("n 1073741824\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("rejection is not an ErrParse: %v", err)
+			}
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written graph failed: %v", err)
+		}
+		if !Equal(g, g2) {
+			t.Fatalf("round trip changed the graph: %v vs %v", g, g2)
+		}
+	})
+}

@@ -5,35 +5,44 @@ import (
 	"math/rand"
 )
 
-// Cycle returns the cycle C_n (n >= 3).
-func Cycle(n int) *Graph {
+// TryCycle returns the cycle C_n, or an error (wrapping ErrBadSize) when
+// n < 3. The Try* generator variants exist for CLI-reachable paths, where a
+// bad size is user input, not a programming error.
+func TryCycle(n int) (*Graph, error) {
 	if n < 3 {
-		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+		return nil, fmt.Errorf("%w: cycle needs n >= 3, got %d", ErrBadSize, n)
 	}
 	g := New(n)
 	for v := 0; v < n; v++ {
 		g.MustAddEdge(v, (v+1)%n)
 	}
-	return g
+	return g, nil
 }
 
-// Path returns the path P_n on n nodes (n >= 1).
-func Path(n int) *Graph {
+// Cycle returns the cycle C_n (n >= 3); it panics on a bad size.
+func Cycle(n int) *Graph { return mustGen(TryCycle(n)) }
+
+// TryPath returns the path P_n on n nodes, or an error when n < 1.
+func TryPath(n int) (*Graph, error) {
 	if n < 1 {
-		panic(fmt.Sprintf("graph: path needs n >= 1, got %d", n))
+		return nil, fmt.Errorf("%w: path needs n >= 1, got %d", ErrBadSize, n)
 	}
 	g := New(n)
 	for v := 0; v+1 < n; v++ {
 		g.MustAddEdge(v, v+1)
 	}
-	return g
+	return g, nil
 }
 
-// Grid2D returns the rows x cols grid graph. Grids have polynomial (hence
-// sub-exponential) growth and are the canonical Section 4 workload.
-func Grid2D(rows, cols int) *Graph {
+// Path returns the path P_n on n nodes (n >= 1); it panics on a bad size.
+func Path(n int) *Graph { return mustGen(TryPath(n)) }
+
+// TryGrid2D returns the rows x cols grid graph, or an error on non-positive
+// dimensions. Grids have polynomial (hence sub-exponential) growth and are
+// the canonical Section 4 workload.
+func TryGrid2D(rows, cols int) (*Graph, error) {
 	if rows < 1 || cols < 1 {
-		panic(fmt.Sprintf("graph: grid needs positive dims, got %dx%d", rows, cols))
+		return nil, fmt.Errorf("%w: grid needs positive dims, got %dx%d", ErrBadSize, rows, cols)
 	}
 	g := New(rows * cols)
 	at := func(r, c int) int { return r*cols + c }
@@ -47,15 +56,18 @@ func Grid2D(rows, cols int) *Graph {
 			}
 		}
 	}
-	return g
+	return g, nil
 }
 
-// Torus2D returns the rows x cols torus (wrap-around grid); 4-regular when
-// rows, cols >= 3. All nodes have even degree, making it a natural balanced
-// orientation workload.
-func Torus2D(rows, cols int) *Graph {
+// Grid2D returns the rows x cols grid graph; it panics on bad dimensions.
+func Grid2D(rows, cols int) *Graph { return mustGen(TryGrid2D(rows, cols)) }
+
+// TryTorus2D returns the rows x cols torus (wrap-around grid), or an error
+// when either dimension is below 3; 4-regular when rows, cols >= 3. All
+// nodes have even degree, making it a natural balanced orientation workload.
+func TryTorus2D(rows, cols int) (*Graph, error) {
 	if rows < 3 || cols < 3 {
-		panic(fmt.Sprintf("graph: torus needs dims >= 3, got %dx%d", rows, cols))
+		return nil, fmt.Errorf("%w: torus needs dims >= 3, got %dx%d", ErrBadSize, rows, cols)
 	}
 	g := New(rows * cols)
 	at := func(r, c int) int { return r*cols + c }
@@ -64,6 +76,17 @@ func Torus2D(rows, cols int) *Graph {
 			g.MustAddEdge(at(r, c), at(r, (c+1)%cols))
 			g.MustAddEdge(at(r, c), at((r+1)%rows, c))
 		}
+	}
+	return g, nil
+}
+
+// Torus2D returns the rows x cols torus; it panics on bad dimensions.
+func Torus2D(rows, cols int) *Graph { return mustGen(TryTorus2D(rows, cols)) }
+
+// mustGen backs the historical panicking generator signatures.
+func mustGen(g *Graph, err error) *Graph {
+	if err != nil {
+		panic(err)
 	}
 	return g
 }

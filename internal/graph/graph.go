@@ -65,13 +65,13 @@ func (g *Graph) M() int { return len(g.edges) }
 // It returns an error on loops, duplicate edges, or out-of-range endpoints.
 func (g *Graph) AddEdge(u, v int) (int, error) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
-		return 0, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+		return 0, fmt.Errorf("%w: edge {%d,%d} out of range [0,%d)", ErrBadEdge, u, v, g.n)
 	}
 	if u == v {
-		return 0, fmt.Errorf("graph: loop at node %d", u)
+		return 0, fmt.Errorf("%w: loop at node %d", ErrBadEdge, u)
 	}
 	if g.HasEdge(u, v) {
-		return 0, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+		return 0, fmt.Errorf("%w: duplicate edge {%d,%d}", ErrBadEdge, u, v)
 	}
 	if u > v {
 		u, v = v, u
@@ -277,15 +277,15 @@ func (g *Graph) NodeByID(id int64) int {
 // non-positive values.
 func (g *Graph) SetIDs(ids []int64) error {
 	if len(ids) != g.n {
-		return fmt.Errorf("graph: got %d IDs for %d nodes", len(ids), g.n)
+		return fmt.Errorf("%w: got %d IDs for %d nodes", ErrBadID, len(ids), g.n)
 	}
 	seen := make(map[int64]bool, len(ids))
 	for v, id := range ids {
 		if id <= 0 {
-			return fmt.Errorf("graph: non-positive ID %d for node %d", id, v)
+			return fmt.Errorf("%w: non-positive ID %d for node %d", ErrBadID, id, v)
 		}
 		if seen[id] {
-			return fmt.Errorf("graph: duplicate ID %d", id)
+			return fmt.Errorf("%w: duplicate ID %d", ErrBadID, id)
 		}
 		seen[id] = true
 	}

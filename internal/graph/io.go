@@ -45,13 +45,24 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the WriteEdgeList format.
+// maxParseNodes caps the node count the parser accepts: beyond this, a
+// malformed or hostile "n" directive would allocate gigabytes of adjacency
+// storage before any edge is even read (the fuzzer finds exactly this line).
+// Legitimate inputs in this codebase are orders of magnitude smaller.
+const maxParseNodes = 1 << 20
+
+// ReadEdgeList parses the WriteEdgeList format. Every rejection is a typed
+// parse error (errors.Is(err, ErrParse)) carrying the 1-based line number of
+// the offending directive; the parser never panics, whatever the input.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<16), 1<<24)
 	var g *Graph
 	ids := map[int]int64{}
 	lineNo := 0
+	fail := func(format string, args ...any) (*Graph, error) {
+		return nil, fmt.Errorf("%w: line %d: %s", ErrParse, lineNo, fmt.Sprintf(format, args...))
+	}
 	for scanner.Scan() {
 		lineNo++
 		line := strings.TrimSpace(scanner.Text())
@@ -62,64 +73,67 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		switch fields[0] {
 		case "n":
 			if g != nil {
-				return nil, fmt.Errorf("graph: line %d: duplicate n directive", lineNo)
+				return fail("duplicate n directive")
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: n needs one argument", lineNo)
+				return fail("n needs one argument")
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+				return fail("bad node count %q", fields[1])
+			}
+			if n > maxParseNodes {
+				return fail("node count %d exceeds the parser cap %d", n, maxParseNodes)
 			}
 			g = New(n)
 		case "id":
 			if g == nil {
-				return nil, fmt.Errorf("graph: line %d: id before n", lineNo)
+				return fail("id before n")
 			}
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("graph: line %d: id needs two arguments", lineNo)
+				return fail("id needs two arguments")
 			}
 			v, err1 := strconv.Atoi(fields[1])
 			id, err2 := strconv.ParseInt(fields[2], 10, 64)
 			if err1 != nil || err2 != nil || v < 0 || v >= g.N() {
-				return nil, fmt.Errorf("graph: line %d: bad id directive", lineNo)
+				return fail("bad id directive")
 			}
 			ids[v] = id
 		case "e":
 			if g == nil {
-				return nil, fmt.Errorf("graph: line %d: e before n", lineNo)
+				return fail("e before n")
 			}
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("graph: line %d: e needs two arguments", lineNo)
+				return fail("e needs two arguments")
 			}
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("graph: line %d: bad edge", lineNo)
+				return fail("bad edge")
 			}
 			if _, err := g.AddEdge(u, v); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return fail("%v", err)
 			}
 		default:
-			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+			return fail("unknown directive %q", fields[0])
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
 	}
 	if g == nil {
-		return nil, fmt.Errorf("graph: missing n directive")
+		return nil, fmt.Errorf("%w: missing n directive", ErrParse)
 	}
 	if len(ids) > 0 {
 		if len(ids) != g.N() {
-			return nil, fmt.Errorf("graph: %d id directives for %d nodes", len(ids), g.N())
+			return nil, fmt.Errorf("%w: %d id directives for %d nodes", ErrParse, len(ids), g.N())
 		}
 		all := make([]int64, g.N())
 		for v, id := range ids {
 			all[v] = id
 		}
 		if err := g.SetIDs(all); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrParse, err)
 		}
 	}
 	return g, nil

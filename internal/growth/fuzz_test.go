@@ -1,0 +1,95 @@
+package growth
+
+import (
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+	"localadvice/internal/local"
+)
+
+// FuzzDecodeArbitraryBits drives the Theorem 4.1 decoder with arbitrary
+// one-bit-per-node advice derived from fuzz bytes. Almost all such strings
+// are garbage (marker components of the wrong shape, payloads that decode to
+// nonsense); the decoder must reject them with an error or decode a solution,
+// and must never panic.
+func FuzzDecodeArbitraryBits(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0b10101010, 0b01010101, 0x0F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graph.Cycle(96)
+		s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 8, Solver: colorSolver}
+		advice := make(local.Advice, g.N())
+		for v := 0; v < g.N(); v++ {
+			bit := 0
+			if v/8 < len(data) && data[v/8]&(1<<(v%8)) != 0 {
+				bit = 1
+			}
+			advice[v] = bitstr.New(bit)
+		}
+		sol, _, err := s.Decode(g, advice)
+		if err == nil && sol == nil {
+			t.Fatal("decoder returned neither a solution nor an error")
+		}
+	})
+}
+
+// FuzzDecodeWrongLengths checks the advice-length contract: the decoder must
+// reject (not panic on) advice strings that are not exactly one bit.
+func FuzzDecodeWrongLengths(f *testing.F) {
+	f.Add(uint8(3), uint8(0))
+	f.Add(uint8(17), uint8(2))
+	f.Fuzz(func(t *testing.T, node, length uint8) {
+		g := graph.Cycle(64)
+		s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 8, Solver: colorSolver}
+		advice := make(local.Advice, g.N())
+		for v := 0; v < g.N(); v++ {
+			advice[v] = bitstr.New(0)
+		}
+		bits := make([]int, int(length)%5)
+		advice[int(node)%g.N()] = bitstr.New(bits...)
+		if len(bits) == 1 {
+			return // still well-formed
+		}
+		if _, _, err := s.Decode(g, advice); err == nil {
+			t.Fatalf("decoder accepted %d-bit advice at node %d", len(bits), int(node)%g.N())
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks decode(encode(G)) at fuzz-chosen cycle
+// sizes in the capacity regime of Theorem 4.1: the honest round trip must
+// always produce a verified proper coloring, and corrupting any single
+// advice bit must never yield a silently invalid output once the decoded
+// solution is verified.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint16(40))
+	f.Add(uint8(2), uint16(999))
+	f.Fuzz(func(t *testing.T, sizeStep uint8, flipAt uint16) {
+		n := 600 + 30*(int(sizeStep)%4)
+		g := graph.Cycle(n)
+		s := Schema{Problem: lcl.Coloring{K: 3}, ClusterRadius: 40, Solver: colorSolver}
+		advice, err := s.Encode(g)
+		if err != nil {
+			t.Fatalf("encode failed on cycle(%d): %v", n, err)
+		}
+		sol, _, err := s.Decode(g, advice)
+		if err != nil {
+			t.Fatalf("decode failed on honest advice, cycle(%d): %v", n, err)
+		}
+		if err := lcl.Verify(s.Problem, g, sol); err != nil {
+			t.Fatalf("round trip produced an invalid coloring, cycle(%d): %v", n, err)
+		}
+		// One-bit corruption: decode either errors or the verifier's verdict
+		// decides — there is no third, silent outcome.
+		v := int(flipAt) % n
+		corrupted := append(local.Advice(nil), advice...)
+		corrupted[v] = bitstr.New(1 - advice[v].Bit(0))
+		if sol, _, err := s.Decode(g, corrupted); err == nil {
+			_ = lcl.Verify(s.Problem, g, sol) // either verdict is fine; no panic
+		}
+	})
+}

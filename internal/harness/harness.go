@@ -86,6 +86,7 @@ func All() []Experiment {
 		{ID: "E6", Title: "3-coloring 3-colorable graphs with 1 bit per node (Thm 7.1)", Run: RunE6},
 		{ID: "E7", Title: "Δ-edge-coloring bipartite Δ-regular graphs, Δ = 2^k (Cor 5.9)", Run: RunE7},
 		{ID: "E8", Title: "Composability and arbitrarily sparse advice (Lem 1/2, Def 3/4)", Run: RunE8},
+		{ID: "E9", Title: "Fault injection: detection vs silent invalid outputs", Run: RunE9},
 	}
 }
 

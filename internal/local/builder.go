@@ -7,16 +7,58 @@ import (
 	"sync/atomic"
 
 	"localadvice/internal/bitstr"
+	"localadvice/internal/fault"
 	"localadvice/internal/graph"
 )
 
-// RunConfig configures the parallel view engine (RunBallConfig).
+// RunConfig configures an engine run: the worker count shared by the view
+// engine (RunBallConfig) and the message engines (RunMessageConfig and
+// friends), and an optional fault-injection plan.
 type RunConfig struct {
-	// Workers is the number of goroutines that build views and evaluate the
-	// ball algorithm; 0 means GOMAXPROCS. Outputs are written by node index
-	// and Stats depend only on the radius, so results are byte-for-byte
-	// identical for every worker count.
+	// Workers is the number of goroutines the engine fans out over: 0 means
+	// GOMAXPROCS, negative means sequential (a single worker). Outputs,
+	// rounds, and message counts are byte-for-byte identical for every
+	// worker count.
 	Workers int
+
+	// Fault, when non-nil and active, injects deterministic faults into the
+	// run: advice corruption and ID reassignment are applied once before the
+	// engine starts (the inputs are not mutated), and crash faults remove
+	// the crashed node from the configured round on, leaving a
+	// fault.CrashError in its output slot. A nil plan is fault-free.
+	Fault *fault.Plan
+}
+
+// normalize resolves the configured worker count for an n-node run:
+// negative clamps to sequential, zero expands to GOMAXPROCS, and the result
+// is capped to [1, max(n, 1)]. Every engine resolves its worker count
+// through this one function so the engines cannot drift.
+func (cfg RunConfig) normalize(n int) int {
+	w := cfg.Workers
+	switch {
+	case w < 0:
+		w = 1
+	case w == 0:
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// applyFault resolves the config's fault plan against the run's inputs,
+// returning the (possibly replaced) graph and advice the engine should
+// execute with. Fault-free configs return the inputs unchanged.
+func (cfg RunConfig) applyFault(g *graph.Graph, advice Advice) (*graph.Graph, Advice) {
+	if !cfg.Fault.Active() {
+		return g, advice
+	}
+	fg, fadv, _ := cfg.Fault.Apply(g, advice)
+	return fg, Advice(fadv)
 }
 
 // defaultWorkers holds the process-wide worker count used by RunBall when no
@@ -38,12 +80,23 @@ func SetDefaultWorkers(n int) {
 // RunBallConfig with an explicit Workers value always honors it.
 const parallelThreshold = 256
 
-// validateAdvice fails loudly on a prover bug: advice, when present, must
-// assign a (possibly empty) string to every node. The old engine silently
-// treated out-of-range nodes as empty-advice, which hid encoder errors.
-func validateAdvice(g *graph.Graph, advice Advice) {
+// validateAdvice rejects a malformed advice assignment: advice, when
+// present, must assign a (possibly empty) string to every node. The original
+// engine silently treated out-of-range nodes as empty-advice, which hid
+// encoder errors; the Try* entry points return this error before the engine
+// starts, and the historical entry points panic with it.
+func validateAdvice(g *graph.Graph, advice Advice) error {
 	if advice != nil && len(advice) != g.N() {
-		panic(fmt.Sprintf("local: advice has %d entries for a %d-node graph (prover bug: advice must be nil or cover every node)", len(advice), g.N()))
+		return fmt.Errorf("%w: advice has %d entries for a %d-node graph (advice must be nil or cover every node)",
+			ErrAdviceLength, len(advice), g.N())
+	}
+	return nil
+}
+
+// mustValidateAdvice is validateAdvice for the panicking entry points.
+func mustValidateAdvice(g *graph.Graph, advice Advice) {
+	if err := validateAdvice(g, advice); err != nil {
+		panic(err)
 	}
 }
 
@@ -68,7 +121,7 @@ var builderPool = sync.Pool{New: func() any { return NewViewBuilder() }}
 // BuildView constructs the radius-T view of node v in g under advice. The
 // returned View shares nothing with the builder and may be retained.
 func (b *ViewBuilder) BuildView(g *graph.Graph, advice Advice, v, radius int) *View {
-	validateAdvice(g, advice)
+	mustValidateAdvice(g, advice)
 	csr := g.Snapshot()
 	ball := g.BFSWithin(v, radius, &b.bfs)
 	k := len(ball)
@@ -120,34 +173,49 @@ func (b *ViewBuilder) BuildView(g *graph.Graph, advice Advice, v, radius int) *V
 	return view
 }
 
-// RunBallConfig executes a ball algorithm with the given radius on every
+// TryRunBallConfig executes a ball algorithm with the given radius on every
 // node of g using cfg.Workers parallel workers and returns the per-node
 // outputs. The round count is exactly the radius. The algorithm must be a
 // pure function of the view (all production decoders are); outputs are
 // written by node index, so the result is identical for any worker count.
-func RunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm, cfg RunConfig) ([]any, Stats) {
-	validateAdvice(g, advice)
-	n := g.N()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+//
+// Malformed advice is reported as an error (wrapping ErrAdviceLength)
+// before the engine starts. When cfg.Fault is active, advice corruption and
+// ID reassignment are applied first, and a node crashed within the decoding
+// radius produces no output — its output slot holds a fault.CrashError. The
+// ball engine has no per-round message flow, so a crash cannot additionally
+// starve the views of other nodes; the message engines model that part.
+func TryRunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm, cfg RunConfig) ([]any, Stats, error) {
+	if err := validateAdvice(g, advice); err != nil {
+		return nil, Stats{}, err
 	}
-	if workers > n {
-		workers = n
+	g, advice = cfg.applyFault(g, advice)
+	n := g.N()
+	workers := cfg.normalize(n)
+	crashed := -1
+	if cfg.Fault != nil && cfg.Fault.CrashRound > 0 && cfg.Fault.CrashRound <= radius {
+		crashed = cfg.Fault.CrashNode
 	}
 	outputs := make([]any, n)
 	if n == 0 {
-		return outputs, Stats{Rounds: radius}
+		return outputs, Stats{Rounds: radius}, nil
 	}
 	g.Snapshot() // build the CSR once, before the fan-out
+
+	evaluate := func(b *ViewBuilder, v int) any {
+		if v == crashed {
+			return fault.CrashError{Node: v, Round: cfg.Fault.CrashRound}
+		}
+		return algo(b.BuildView(g, advice, v, radius))
+	}
 
 	if workers <= 1 {
 		b := builderPool.Get().(*ViewBuilder)
 		defer builderPool.Put(b)
 		for v := 0; v < n; v++ {
-			outputs[v] = algo(b.BuildView(g, advice, v, radius))
+			outputs[v] = evaluate(b, v)
 		}
-		return outputs, Stats{Rounds: radius}
+		return outputs, Stats{Rounds: radius}, nil
 	}
 
 	var next atomic.Int64
@@ -163,10 +231,22 @@ func RunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm
 				if v >= n {
 					return
 				}
-				outputs[v] = algo(b.BuildView(g, advice, v, radius))
+				outputs[v] = evaluate(b, v)
 			}
 		}()
 	}
 	wg.Wait()
-	return outputs, Stats{Rounds: radius}
+	return outputs, Stats{Rounds: radius}, nil
+}
+
+// RunBallConfig is the historical panicking form of TryRunBallConfig: it
+// panics on malformed advice instead of returning an error. Callers running
+// prover-produced advice (which already passed validation) keep this thin
+// wrapper; anything fed from user input should call TryRunBallConfig.
+func RunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm, cfg RunConfig) ([]any, Stats) {
+	outputs, stats, err := TryRunBallConfig(g, advice, radius, algo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return outputs, stats
 }

@@ -1,0 +1,14 @@
+package local
+
+import "errors"
+
+// Typed errors of the engine surface. The Try* entry points return errors
+// wrapping these sentinels; the historical non-Try signatures panic with the
+// same wrapped error so that engine-internal invariant violations still fail
+// loudly in code that has already validated its inputs.
+var (
+	// ErrAdviceLength tags runs whose advice assignment does not cover
+	// every node of the graph (advice must be nil or have exactly N()
+	// entries).
+	ErrAdviceLength = errors.New("local: advice length mismatch")
+)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"localadvice/internal/fault"
 	"localadvice/internal/graph"
 )
 
@@ -15,6 +16,18 @@ import (
 // scheduler (Run) is pinned against by the engine-equivalence property
 // tests; production callers should use Run.
 func RunGoroutine(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
+	return RunGoroutineConfig(g, protocol, advice, RunConfig{})
+}
+
+// RunGoroutineConfig is RunGoroutine with a RunConfig, for fault injection;
+// the worker count is ignored (the engine is one-goroutine-per-node by
+// design). Crash semantics match RunMessageConfig exactly, so the
+// engine-equivalence property tests extend to faulty executions.
+func RunGoroutineConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig) ([]any, Stats, error) {
+	if err := validateAdvice(g, advice); err != nil {
+		return nil, Stats{}, err
+	}
+	g, advice = cfg.applyFault(g, advice)
 	n := g.N()
 
 	// Per-directed-edge channels, buffered so that a round's sends never
@@ -61,6 +74,11 @@ func RunGoroutine(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stat
 					return
 				}
 				var outbox []Message
+				if !done && cfg.Fault.Crashes(v, round) {
+					done = true
+					doneAt[v] = round
+					outputs[v] = fault.CrashError{Node: v, Round: round}
+				}
 				if !done {
 					outbox, done = machines[v].Round(round, inbox)
 					if done {

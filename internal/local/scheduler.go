@@ -2,11 +2,11 @@ package local
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"localadvice/internal/bitstr"
+	"localadvice/internal/fault"
 	"localadvice/internal/graph"
 )
 
@@ -68,16 +68,22 @@ func Run(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error)
 	return RunMessageConfig(g, protocol, advice, RunConfig{Workers: workers})
 }
 
-// RunMessageConfig is Run with an explicit worker count (0 = GOMAXPROCS).
+// RunMessageConfig is Run with an explicit worker count (0 = GOMAXPROCS,
+// negative = sequential) and optional fault injection. Malformed advice is
+// reported as an error (wrapping ErrAdviceLength) before the engine starts.
+// Under an active cfg.Fault, advice corruption and ID reassignment are
+// applied up front; a crashed node stops participating at its crash round
+// (it sends nothing from then on and its output slot holds a
+// fault.CrashError), and — unlike in the ball engine — its silence is
+// observable by neighbors, whose views from that round on are missing the
+// crashed node's contributions.
 func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig) ([]any, Stats, error) {
+	if err := validateAdvice(g, advice); err != nil {
+		return nil, Stats{}, err
+	}
+	g, advice = cfg.applyFault(g, advice)
 	n := g.N()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers := cfg.normalize(n)
 
 	pt := newPortTable(g)
 	machines := newMachines(g, protocol, advice)
@@ -97,6 +103,14 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 		for v := lo; v < hi; v++ {
 			start, end := pt.off[v], pt.off[v+1]
 			var outbox []Message
+			if !done[v] && cfg.Fault.Crashes(v, round) {
+				// The node stops participating: it is marked done (so the
+				// run terminates) with a CrashError output, and from this
+				// round on all its ports carry nil.
+				done[v] = true
+				doneAt[v] = round
+				outputs[v] = fault.CrashError{Node: v, Round: round}
+			}
 			if !done[v] {
 				// The inbox slice aliases the slab and is valid only for
 				// the duration of the call (same contract as the other

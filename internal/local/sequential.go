@@ -3,6 +3,7 @@ package local
 import (
 	"fmt"
 
+	"localadvice/internal/fault"
 	"localadvice/internal/graph"
 )
 
@@ -14,6 +15,19 @@ import (
 // engines-agree tests (three separate engines agreeing is much stronger
 // evidence than two).
 func RunSequential(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error) {
+	return RunSequentialConfig(g, protocol, advice, RunConfig{})
+}
+
+// RunSequentialConfig is RunSequential with a RunConfig, for fault
+// injection; the worker count is ignored (the engine is single-threaded by
+// design). Crash semantics match RunMessageConfig exactly: the crashed node
+// is marked done with a fault.CrashError output at its crash round and
+// sends nothing from then on.
+func RunSequentialConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig) ([]any, Stats, error) {
+	if err := validateAdvice(g, advice); err != nil {
+		return nil, Stats{}, err
+	}
+	g, advice = cfg.applyFault(g, advice)
 	n := g.N()
 	machines := newMachines(g, protocol, advice)
 
@@ -47,6 +61,11 @@ func RunSequential(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Sta
 		allDone := true
 		for v := 0; v < n; v++ {
 			var outbox []Message
+			if !done[v] && cfg.Fault.Crashes(v, round) {
+				done[v] = true
+				doneAt[v] = round
+				outputs[v] = fault.CrashError{Node: v, Round: round}
+			}
 			if !done[v] {
 				outbox, done[v] = machines[v].Round(round, inboxes[v])
 				if done[v] {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"localadvice/internal/bitstr"
+	"localadvice/internal/fault"
 	"localadvice/internal/graph"
 )
 
@@ -50,18 +51,30 @@ func BuildView(g *graph.Graph, advice Advice, v, radius int) *View {
 	return b.BuildView(g, advice, v, radius)
 }
 
-// RunBall executes a ball algorithm with the given radius on every node of g
-// and returns the per-node outputs. The round count is exactly the radius.
-// Large graphs fan out over a worker pool (GOMAXPROCS workers unless
-// SetDefaultWorkers says otherwise); small graphs run sequentially, since
-// fan-out overhead dominates below a few hundred nodes. Either way the
-// outputs and Stats are identical to a single-worker run.
-func RunBall(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm) ([]any, Stats) {
+// TryRunBall executes a ball algorithm with the given radius on every node
+// of g and returns the per-node outputs, reporting malformed advice as an
+// error (wrapping ErrAdviceLength) before the engine starts. The round
+// count is exactly the radius. Large graphs fan out over a worker pool
+// (GOMAXPROCS workers unless SetDefaultWorkers says otherwise); small graphs
+// run sequentially, since fan-out overhead dominates below a few hundred
+// nodes. Either way the outputs and Stats are identical to a single-worker
+// run.
+func TryRunBall(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm) ([]any, Stats, error) {
 	workers := int(defaultWorkers.Load())
 	if g.N() < parallelThreshold && workers == 0 {
 		workers = 1
 	}
-	return RunBallConfig(g, advice, radius, algo, RunConfig{Workers: workers})
+	return TryRunBallConfig(g, advice, radius, algo, RunConfig{Workers: workers})
+}
+
+// RunBall is the historical panicking form of TryRunBall: it panics on
+// malformed advice instead of returning an error.
+func RunBall(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm) ([]any, Stats) {
+	outputs, stats, err := TryRunBall(g, advice, radius, algo)
+	if err != nil {
+		panic(err)
+	}
+	return outputs, stats
 }
 
 // GatherProtocol is a message-engine protocol in which every node floods its
@@ -123,7 +136,15 @@ func (m *gatherMachine) Round(round int, inbox []Message) ([]Message, bool) {
 		}
 	}
 	if round > m.p.Radius {
-		m.out = m.p.Decide(m.assembleView())
+		view, err := m.assembleView()
+		if err != nil {
+			// Surface assembly failures (e.g. duplicate IDs flooded by a
+			// corrupted neighborhood) as this node's output instead of
+			// panicking: callers inspect outputs for error values.
+			m.out = err
+			return nil, true
+		}
+		m.out = m.p.Decide(view)
 		return nil, true
 	}
 	// Flood everything known; own fact first so receivers learn who sent.
@@ -143,7 +164,7 @@ func (m *gatherMachine) Round(round int, inbox []Message) ([]Message, bool) {
 
 func (m *gatherMachine) Output() any { return m.out }
 
-func (m *gatherMachine) assembleView() *View {
+func (m *gatherMachine) assembleView() (*View, error) {
 	// Build a graph from known facts; distances computed from the center.
 	ids := make([]int64, 0, len(m.known))
 	for id := range m.known {
@@ -156,7 +177,7 @@ func (m *gatherMachine) assembleView() *View {
 	}
 	g := graph.New(len(ids))
 	if err := g.SetIDs(ids); err != nil {
-		panic(fmt.Sprintf("local: gather produced duplicate IDs: %v", err))
+		return nil, fmt.Errorf("local: gather produced duplicate IDs: %v: %w", err, fault.ErrDetectedCorruption)
 	}
 	for id, f := range m.known {
 		for _, nid := range f.neighbors {
@@ -185,7 +206,7 @@ func (m *gatherMachine) assembleView() *View {
 		view.Advice[i] = m.known[id].advice
 		view.TrueDegree[i] = m.known[id].degree
 	}
-	return view
+	return view, nil
 }
 
 func mergeIDs(dst, src []int64) []int64 {

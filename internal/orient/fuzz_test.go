@@ -1,0 +1,72 @@
+package orient
+
+import (
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/core"
+	"localadvice/internal/graph"
+	"localadvice/internal/lcl"
+)
+
+// FuzzDecodeVarArbitraryAdvice feeds the orientation decoder advice strings
+// it never promised to handle: arbitrary placements, arbitrary lengths,
+// arbitrary bits. The decoder may reject them or decode something, but it
+// must never panic — that is the error contract the fault-injection layer
+// relies on.
+func FuzzDecodeVarArbitraryAdvice(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{255, 255, 0, 128, 7})
+	f.Add([]byte{10, 0b1101, 11, 0b1101, 30, 0b01, 31, 0b10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graph.Cycle(48)
+		s := Schema{P: DefaultParams()}
+		// Two bytes per entry: a node index and a packed (length, bits)
+		// descriptor giving strings of 0 to 3 bits.
+		va := make(core.VarAdvice)
+		for i := 0; i+1 < len(data); i += 2 {
+			v := int(data[i]) % g.N()
+			length := int(data[i+1]) % 4
+			bits := make([]int, length)
+			for j := range bits {
+				bits[j] = int(data[i+1]>>(2+j)) & 1
+			}
+			va[v] = bitstr.New(bits...)
+		}
+		sol, _, err := s.DecodeVar(g, va, nil)
+		if err == nil && sol == nil {
+			t.Fatal("decoder returned neither a solution nor an error")
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks decode(encode(G)) on cycles and paths of
+// fuzz-chosen sizes: the honest round trip must always yield a verified
+// almost-balanced orientation.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), false)
+	f.Add(uint8(97), true)
+	f.Add(uint8(200), false)
+	f.Fuzz(func(t *testing.T, size uint8, usePath bool) {
+		n := 3 + int(size)
+		var g *graph.Graph
+		if usePath {
+			g = graph.Path(n)
+		} else {
+			g = graph.Cycle(n)
+		}
+		s := Schema{P: DefaultParams()}
+		va, err := s.EncodeVar(g, nil)
+		if err != nil {
+			t.Fatalf("encode failed on n=%d usePath=%v: %v", n, usePath, err)
+		}
+		sol, _, err := s.DecodeVar(g, va, nil)
+		if err != nil {
+			t.Fatalf("decode failed on honest advice, n=%d usePath=%v: %v", n, usePath, err)
+		}
+		if err := lcl.Verify(lcl.BalancedOrientation{}, g, sol); err != nil {
+			t.Fatalf("round trip produced an invalid orientation, n=%d usePath=%v: %v", n, usePath, err)
+		}
+	})
+}

@@ -22,7 +22,17 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
 
-awk -v date="$(date +%F)" '
+# Wall time of the race-enabled engine-equivalence + fault property tests:
+# the race detector multiplies the cost of the parallel engines' memory
+# traffic, so this number regresses when a change adds synchronization or
+# sharing to the hot paths even if the benchmarks above stay flat.
+race_start=$(date +%s)
+go test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize' \
+    ./internal/local ./internal/fault >/dev/null
+race_seconds=$(( $(date +%s) - race_start ))
+echo "race-enabled equivalence tests: ${race_seconds}s"
+
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -42,7 +52,7 @@ BEGIN { n = 0 }
     recs[n++] = rec
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, cpu
+    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"race_equivalence_seconds\": %s,\n  \"benchmarks\": [\n", date, cpu, race_seconds
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
 }

@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test check check-race fuzz bench bench-msg exp clean
+.PHONY: all build test check check-race cover fuzz bench bench-msg exp clean
 
 all: build
 
@@ -11,14 +11,34 @@ build:
 test:
 	$(GO) test ./...
 
-# CI gate: vet, the full suite (which replays every fuzz seed corpus), and a
+# CI gate: vet, the full suite (which replays every fuzz seed corpus), a
 # race-enabled run of the engine-equivalence and fault-injection property
 # tests — the tests most likely to catch a data race introduced in the
-# parallel engines.
+# parallel engines — the benchmark-regression comparison against the newest
+# recorded BENCH_*.json baseline, and the per-package coverage floor.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize' ./internal/local ./internal/fault
+	LOCAD_BENCH_REGRESSION=1 $(GO) test -count=1 -run TestBenchRegression .
+	$(MAKE) cover
+
+# Per-package coverage floor: the packages at the heart of the reproduction
+# (engines, schema substrate, instrumentation) must each stay at or above
+# 70% statement coverage.
+COVER_FLOOR := 70.0
+COVER_PKGS  := ./internal/local ./internal/core ./internal/obs
+
+cover:
+	$(GO) test -count=1 -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
+	{ print } \
+	/^ok/ { \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
+			pct = $$(i + 1); sub(/%/, "", pct); \
+			if (pct + 0 < floor) { printf "FAIL: %s coverage %s%% below floor %s%%\n", $$2, pct, floor; bad = 1 } \
+		} \
+	} \
+	END { exit bad }'
 
 # Exhaustive race gate (slower): the whole suite under the race detector.
 check-race:

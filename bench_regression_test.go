@@ -1,0 +1,99 @@
+package localadvice_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// benchReport mirrors the JSON written by scripts/bench.sh.
+type benchReport struct {
+	Date       string `json:"date"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// newestBenchReport loads the lexicographically newest BENCH_*.json in the
+// repo root (the filenames embed an ISO date, so name order is date order).
+// Returns ok=false when no baseline has been recorded yet.
+func newestBenchReport(t *testing.T) (benchReport, string, bool) {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		return benchReport{}, "", false
+	}
+	sort.Strings(matches)
+	newest := matches[len(matches)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("read %s: %v", newest, err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parse %s: %v", newest, err)
+	}
+	return r, newest, true
+}
+
+// bestOf re-runs a benchmark function n times via testing.Benchmark and
+// returns the best (lowest) ns/op, discounting scheduling noise the way a
+// human reads repeated bench runs.
+func bestOf(n int, fn func(*testing.B)) float64 {
+	best := 0.0
+	for i := 0; i < n; i++ {
+		r := testing.Benchmark(fn)
+		ns := float64(r.NsPerOp())
+		if i == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// TestBenchRegression guards the two hot paths the perf PRs optimized —
+// view construction and the sharded scheduler — against silent regression:
+// it re-times them and fails if the best of three runs is more than 30%
+// slower than the newest recorded BENCH_*.json baseline.
+//
+// The test is opt-in via LOCAD_BENCH_REGRESSION=1 (set by `make check`):
+// plain `go test ./...` must stay load-independent, and wall-clock
+// comparisons under arbitrary machine load are not.
+func TestBenchRegression(t *testing.T) {
+	if os.Getenv("LOCAD_BENCH_REGRESSION") != "1" {
+		t.Skip("set LOCAD_BENCH_REGRESSION=1 to compare against the recorded baseline (make check does)")
+	}
+	report, path, ok := newestBenchReport(t)
+	if !ok {
+		t.Skip("no BENCH_*.json baseline recorded; run scripts/bench.sh first")
+	}
+	baseline := make(map[string]float64, len(report.Benchmarks))
+	for _, b := range report.Benchmarks {
+		baseline[b.Name] = b.NsPerOp
+	}
+	const slack = 1.30 // fail only beyond +30%: generous against machine noise
+	checks := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkBuildView", BenchmarkBuildView},
+		{"BenchmarkEngineScheduler4096", BenchmarkEngineScheduler4096},
+	}
+	for _, c := range checks {
+		want, recorded := baseline[c.name]
+		if !recorded || want <= 0 {
+			t.Logf("%s: not in baseline %s, skipping", c.name, path)
+			continue
+		}
+		got := bestOf(3, c.fn)
+		ratio := got / want
+		t.Logf("%s: %.0f ns/op vs baseline %.0f ns/op (%s) — %.2fx", c.name, got, want, path, ratio)
+		if ratio > slack {
+			t.Errorf("%s regressed: %.0f ns/op is %.0f%% over the %s baseline of %.0f ns/op (threshold +30%%)",
+				c.name, got, (ratio-1)*100, path, want)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	locad exp [E1 ... E9]        run experiments (all by default)
+//	locad exp -trace t.jsonl -profile cpu.pprof -summary s.json
+//	locad trace -engine message -graph torus -n 256 -o trace.jsonl
 //	locad fault -schema color3 -class flip -rate 0.05 -runs 10
 //	locad orient  -graph cycle -n 200
 //	locad color3  -graph cycle -n 120
@@ -14,10 +16,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,6 +32,7 @@ import (
 	"localadvice/internal/harness"
 	"localadvice/internal/lcl"
 	"localadvice/internal/local"
+	"localadvice/internal/obs"
 	"localadvice/internal/orient"
 )
 
@@ -58,6 +63,8 @@ func run(args []string) error {
 		return cmdGraphInfo(args[1:])
 	case "engine":
 		return cmdEngine(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
 	case "fault":
 		return cmdFault(args[1:])
 	case "prove":
@@ -83,7 +90,9 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `locad — local computation with advice (PODC 2024 reproduction)
 
 subcommands:
-  exp [E1 ... E9]   run experiments and print their tables (all by default)
+  exp [E1 ... E9]   run experiments and print their tables (all by default);
+                    -trace/-summary observe the run (sequential), -profile
+                    writes a CPU profile
   orient            encode+decode an almost-balanced orientation
   color3            encode+decode a 3-coloring with 1 bit per node
   deltacolor        encode+decode a Δ-coloring via the Section 6 pipeline
@@ -92,6 +101,8 @@ subcommands:
   engine            run the radius-T view-gathering reference protocol on a
                     chosen execution engine (-engine {ball,message,goroutine,
                     sequential} -workers <w>) and report rounds/messages/time
+  trace             run the engine workload with metrics attached and write a
+                    JSONL per-round trace (-o <file>, -profile <cpu.pprof>)
   fault             inject faults (-class {flip,truncate,reassign,crash}) into
                     a schema run or an engine run and report the outcome of
                     every repetition (valid / detected / crashed)
@@ -121,6 +132,9 @@ func applyWorkers(w int) int {
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	workers := workersFlag(fs)
+	tracePath := fs.String("trace", "", "write a JSONL engine trace of the (sequential) observed run to this file")
+	profilePath := fs.String("profile", "", "write a CPU profile of the experiment run to this file")
+	summaryPath := fs.String("summary", "", "write per-experiment engine summaries as JSON to this file ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,14 +153,76 @@ func cmdExp(args []string) error {
 		}
 		exps = append(exps, e)
 	}
-	tables, err := harness.RunMany(exps, w)
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	observe := *tracePath != "" || *summaryPath != ""
+	results, err := harness.RunManyObserved(exps, w, observe)
 	if err != nil {
 		return err
 	}
-	for _, table := range tables {
-		table.Render(os.Stdout)
+	for _, r := range results {
+		r.Table.Render(os.Stdout)
+	}
+	if *tracePath != "" {
+		if err := writeExpTrace(*tracePath, results); err != nil {
+			return err
+		}
+	}
+	if *summaryPath != "" {
+		if err := writeExpSummaries(*summaryPath, results); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeExpTrace concatenates the per-experiment traces into one JSONL file,
+// prefixing each experiment's records with an {"type":"experiment"} marker
+// line so consumers can segment the stream.
+func writeExpTrace(path string, results []harness.ExperimentResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, r := range results {
+		if _, err := fmt.Fprintf(f, "{\"type\":\"experiment\",\"id\":%q}\n", r.ID); err != nil {
+			return err
+		}
+		if err := r.Collector.WriteJSONL(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// writeExpSummaries writes the per-experiment engine summaries as a single
+// JSON object keyed by experiment ID — the shape scripts/bench.sh embeds
+// under the "experiments" key of its BENCH_*.json reports.
+func writeExpSummaries(path string, results []harness.ExperimentResult) error {
+	out := make(map[string]*obs.Summary, len(results))
+	for _, r := range results {
+		out[r.ID] = r.Summary
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // graphFlags parses the shared graph-construction flags.

@@ -23,6 +23,7 @@ import (
 
 	"localadvice/internal/bitstr"
 	"localadvice/internal/graph"
+	"localadvice/internal/obs"
 )
 
 // Sentinel errors of the robustness layer. Callers match them with
@@ -106,6 +107,24 @@ type Report struct {
 func (r Report) String() string {
 	return fmt.Sprintf("fault: flipped %d bits, truncated %d nodes, reassigned IDs: %v",
 		r.FlippedBits, r.TruncatedNodes, r.ReassignedIDs)
+}
+
+// Events renders the report as metrics events for the observability layer
+// (only non-zero damage is emitted; a harmless Apply produces no events).
+// The engines forward these into the run's obs collector so fault-injection
+// traces carry exactly what was injected.
+func (r Report) Events() []obs.Event {
+	var out []obs.Event
+	if r.FlippedBits > 0 {
+		out = append(out, obs.Event{Kind: "fault.flipped_bits", Value: int64(r.FlippedBits)})
+	}
+	if r.TruncatedNodes > 0 {
+		out = append(out, obs.Event{Kind: "fault.truncated_nodes", Value: int64(r.TruncatedNodes)})
+	}
+	if r.ReassignedIDs {
+		out = append(out, obs.Event{Kind: "fault.reassigned_ids", Value: 1})
+	}
+	return out
 }
 
 // Apply injects the plan's structural faults into a run's inputs and returns

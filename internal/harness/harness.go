@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"localadvice/internal/obs"
 )
 
 // Table is one experiment's output table.
@@ -90,23 +92,76 @@ func All() []Experiment {
 	}
 }
 
+// ExperimentResult pairs an experiment's table with the engine metrics
+// collected while it ran (nil when the run was not observed).
+type ExperimentResult struct {
+	ID      string
+	Table   *Table
+	Summary *obs.Summary
+	// Collector is the collector the observed run reported into (for JSONL
+	// export); nil when the run was not observed.
+	Collector *obs.Collector
+}
+
 // RunMany executes the given experiments, fanning the rows of work out over
 // up to `workers` goroutines (0 means GOMAXPROCS), and returns the tables in
 // the order the experiments were given. Every experiment is deterministic
 // (seeded RNGs, no shared state), so the tables are identical to a
 // sequential run; only the wall-clock changes. The first error wins.
 func RunMany(exps []Experiment, workers int) ([]*Table, error) {
+	results, err := RunManyObserved(exps, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]*Table, len(results))
+	for i, r := range results {
+		tables[i] = r.Table
+	}
+	return tables, nil
+}
+
+// RunManyObserved is RunMany returning per-experiment results. When observe
+// is true the experiments run sequentially — regardless of workers — each
+// with a fresh obs.Collector installed as the process-wide default
+// (obs.SetDefault), so every engine run inside the experiment reports into
+// it; the collector's Summary is attached to the result. Observation must be
+// sequential because experiments reach the collector through the process-
+// wide default: running two at once would interleave their metrics.
+func RunManyObserved(exps []Experiment, workers int, observe bool) ([]ExperimentResult, error) {
+	results := make([]ExperimentResult, len(exps))
+	for i, e := range exps {
+		results[i].ID = e.ID
+	}
+	if observe {
+		prev := obs.Default()
+		defer obs.SetDefault(prev)
+		for i, e := range exps {
+			c := &obs.Collector{}
+			c.Start()
+			obs.SetDefault(c)
+			table, err := e.Run()
+			obs.SetDefault(nil)
+			c.Stop()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			s := c.Summary()
+			results[i].Table = table
+			results[i].Summary = &s
+			results[i].Collector = c
+		}
+		return results, nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(exps) {
 		workers = len(exps)
 	}
-	tables := make([]*Table, len(exps))
 	errs := make([]error, len(exps))
 	if workers <= 1 {
 		for i, e := range exps {
-			tables[i], errs[i] = e.Run()
+			results[i].Table, errs[i] = e.Run()
 		}
 	} else {
 		sem := make(chan struct{}, workers)
@@ -117,7 +172,7 @@ func RunMany(exps []Experiment, workers int) ([]*Table, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				tables[i], errs[i] = e.Run()
+				results[i].Table, errs[i] = e.Run()
 			}(i, e)
 		}
 		wg.Wait()
@@ -127,7 +182,7 @@ func RunMany(exps []Experiment, workers int) ([]*Table, error) {
 			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
 		}
 	}
-	return tables, nil
+	return results, nil
 }
 
 // ByID returns the experiment with the given ID.

@@ -24,6 +24,8 @@ package lll
 import (
 	"fmt"
 	"math/rand"
+
+	"localadvice/internal/obs"
 )
 
 // Instance describes a constraint-satisfaction instance for Moser–Tardos.
@@ -157,7 +159,19 @@ func (h *minHeap) pop() int32 {
 // maxResamplings caps the work; if exceeded, an error is returned (under the
 // LLL condition this indicates the cap was far too small or the instance
 // violates the condition).
+//
+// Solve reports into the process-wide metrics collector when one is
+// installed (obs.SetDefault); SolveObserved takes an explicit collector.
 func Solve(in *Instance, rng *rand.Rand, maxResamplings int) (Result, error) {
+	return SolveObserved(in, rng, maxResamplings, obs.Default())
+}
+
+// SolveObserved is Solve reporting into the given collector: on success it
+// emits "lll.resamplings" (the resampling count — the paper's expected-
+// linear work bound, measured), "lll.initial_violated" (bad events after
+// the initial uniform sample) and "lll.events" (instance size). A nil
+// collector records nothing and costs nothing.
+func SolveObserved(in *Instance, rng *rand.Rand, maxResamplings int, m *obs.Collector) (Result, error) {
 	c, err := in.compile()
 	if err != nil {
 		return Result{}, err
@@ -177,6 +191,10 @@ func Solve(in *Instance, rng *rand.Rand, maxResamplings int) (Result, error) {
 			violated[e] = true
 			heap = append(heap, int32(e))
 		}
+	}
+	if m.Enabled() {
+		m.Emit("lll.events", "", int64(in.NumEvents))
+		m.Emit("lll.initial_violated", "", int64(len(heap)))
 	}
 	// seen stamps deduplicate the neighbor recheck after a resampling (an
 	// event sharing several variables with the resampled one is rechecked
@@ -225,6 +243,9 @@ func Solve(in *Instance, rng *rand.Rand, maxResamplings int) (Result, error) {
 				}
 			}
 		}
+	}
+	if m.Enabled() {
+		m.Emit("lll.resamplings", "", int64(resamplings))
 	}
 	return Result{Assignment: assignment, Resamplings: resamplings}, nil
 }

@@ -5,20 +5,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"localadvice/internal/bitstr"
 	"localadvice/internal/fault"
 	"localadvice/internal/graph"
+	"localadvice/internal/obs"
 )
 
 // RunConfig configures an engine run: the worker count shared by the view
 // engine (RunBallConfig) and the message engines (RunMessageConfig and
-// friends), and an optional fault-injection plan.
+// friends), an optional fault-injection plan, and an optional metrics
+// collector.
 type RunConfig struct {
-	// Workers is the number of goroutines the engine fans out over: 0 means
-	// GOMAXPROCS, negative means sequential (a single worker). Outputs,
-	// rounds, and message counts are byte-for-byte identical for every
-	// worker count.
+	// Workers is the number of goroutines the engine fans out over; see
+	// normalize for the exact resolution contract (the single source of
+	// truth). Outputs, rounds, and message counts are byte-for-byte
+	// identical for every worker count.
 	Workers int
 
 	// Fault, when non-nil and active, injects deterministic faults into the
@@ -27,12 +30,27 @@ type RunConfig struct {
 	// the crashed node from the configured round on, leaving a
 	// fault.CrashError in its output slot. A nil plan is fault-free.
 	Fault *fault.Plan
+
+	// Metrics, when non-nil, receives per-round cost metrics (wall time,
+	// messages, bytes, active nodes, per-shard sweep timing) and events
+	// from the run. When nil the engine falls back to the process-wide
+	// collector (obs.SetDefault); with neither installed, instrumentation
+	// is a nil check — no allocations, no clock reads — and outputs are
+	// byte-identical to an uninstrumented build.
+	Metrics *obs.Collector
 }
 
-// normalize resolves the configured worker count for an n-node run:
-// negative clamps to sequential, zero expands to GOMAXPROCS, and the result
-// is capped to [1, max(n, 1)]. Every engine resolves its worker count
-// through this one function so the engines cannot drift.
+// normalize resolves the configured worker count for an n-node run. This
+// is the single source of truth for the Workers contract, shared by every
+// engine (ball, scheduler, goroutine, sequential) so they cannot drift:
+//
+//   - negative clamps to sequential (one worker);
+//   - zero expands to runtime.GOMAXPROCS(0);
+//   - the result is capped to [1, max(n, 1)], so a worker count above the
+//     node count (e.g. 8 workers on a 4-node graph) clamps to n.
+//
+// TestNormalizeWorkers pins the -1/0/1/8 table from CHANGES.md against
+// this function.
 func (cfg RunConfig) normalize(n int) int {
 	w := cfg.Workers
 	switch {
@@ -50,14 +68,30 @@ func (cfg RunConfig) normalize(n int) int {
 	return w
 }
 
+// collector resolves the metrics destination for this run: the explicit
+// RunConfig.Metrics if set, else the process-wide default (normally nil).
+// Call once per run, not per round.
+func (cfg RunConfig) collector() *obs.Collector {
+	if cfg.Metrics != nil {
+		return cfg.Metrics
+	}
+	return obs.Default()
+}
+
 // applyFault resolves the config's fault plan against the run's inputs,
 // returning the (possibly replaced) graph and advice the engine should
-// execute with. Fault-free configs return the inputs unchanged.
+// execute with. Fault-free configs return the inputs unchanged. When a
+// collector is active, the injected damage is recorded as fault.* events.
 func (cfg RunConfig) applyFault(g *graph.Graph, advice Advice) (*graph.Graph, Advice) {
 	if !cfg.Fault.Active() {
 		return g, advice
 	}
-	fg, fadv, _ := cfg.Fault.Apply(g, advice)
+	fg, fadv, rep := cfg.Fault.Apply(g, advice)
+	if m := cfg.collector(); m.Enabled() {
+		for _, e := range rep.Events() {
+			m.Emit(e.Kind, e.Label, e.Value)
+		}
+	}
 	return fg, Advice(fadv)
 }
 
@@ -202,6 +236,36 @@ func TryRunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgori
 	}
 	g.Snapshot() // build the CSR once, before the fan-out
 
+	// Metrics: the ball engine has no per-round message flow, so it records
+	// a single round entry (round = radius) with the total and per-worker
+	// view-construction time. Active nodes excludes a node crashed within
+	// the radius (it builds no view).
+	m := cfg.collector()
+	var (
+		runID      int
+		runStart   time.Time
+		shardNanos []int64
+	)
+	if m.Enabled() {
+		runID = m.BeginRun("ball", n)
+		shardNanos = make([]int64, workers)
+		runStart = time.Now()
+	}
+	finish := func() {
+		if !m.Enabled() {
+			return
+		}
+		active := n
+		if crashed >= 0 && crashed < n {
+			active--
+			m.Emit("fault.crash", "", 1)
+		}
+		m.RecordRound(obs.RoundMetric{Engine: "ball", Run: runID, Round: radius,
+			ActiveNodes: active, WallNanos: time.Since(runStart).Nanoseconds(),
+			ShardNanos: shardNanos})
+		m.Emit("ball.views", "", int64(active))
+	}
+
 	evaluate := func(b *ViewBuilder, v int) any {
 		if v == crashed {
 			return fault.CrashError{Node: v, Round: cfg.Fault.CrashRound}
@@ -215,6 +279,10 @@ func TryRunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgori
 		for v := 0; v < n; v++ {
 			outputs[v] = evaluate(b, v)
 		}
+		if m.Enabled() {
+			shardNanos[0] = time.Since(runStart).Nanoseconds()
+		}
+		finish()
 		return outputs, Stats{Rounds: radius}, nil
 	}
 
@@ -222,20 +290,28 @@ func TryRunBallConfig(g *graph.Graph, advice Advice, radius int, algo BallAlgori
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var shardStart time.Time
+			if m.Enabled() {
+				shardStart = time.Now()
+			}
 			b := builderPool.Get().(*ViewBuilder)
 			defer builderPool.Put(b)
 			for {
 				v := int(next.Add(1)) - 1
 				if v >= n {
-					return
+					break
 				}
 				outputs[v] = evaluate(b, v)
 			}
-		}()
+			if m.Enabled() {
+				shardNanos[w] = time.Since(shardStart).Nanoseconds()
+			}
+		}(w)
 	}
 	wg.Wait()
+	finish()
 	return outputs, Stats{Rounds: radius}, nil
 }
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"localadvice/internal/fault"
 	"localadvice/internal/graph"
+	"localadvice/internal/obs"
 )
 
 // RunGoroutine executes protocol on g with the given advice (nil for none)
@@ -60,6 +62,29 @@ func RunGoroutineConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg Ru
 	errs := make([]error, n)
 	barrier := newBarrier(n)
 
+	// Metrics: per-round counters accumulate in atomics as the node
+	// goroutines run; the last goroutine to reach the barrier each round
+	// records the RoundMetric and resets them (see barrier.onRound). The
+	// counters are sums of order-independent integers, so they are
+	// bit-identical to the scheduler's and the sequential engine's.
+	m := cfg.collector()
+	measure := m.Enabled()
+	var roundActive, roundMsgs, roundBytes atomic.Int64
+	if measure {
+		runID := m.BeginRun("goroutine", n)
+		roundStart := time.Now()
+		barrier.onRound = func(round int) {
+			now := time.Now()
+			m.RecordRound(obs.RoundMetric{Engine: "goroutine", Run: runID, Round: round,
+				ActiveNodes: int(roundActive.Load()), Messages: roundMsgs.Load(),
+				Bytes: roundBytes.Load(), WallNanos: now.Sub(roundStart).Nanoseconds()})
+			roundActive.Store(0)
+			roundMsgs.Store(0)
+			roundBytes.Store(0)
+			roundStart = now
+		}
+	}
+
 	for v := 0; v < n; v++ {
 		wg.Add(1)
 		go func(v int) {
@@ -78,8 +103,14 @@ func RunGoroutineConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg Ru
 					done = true
 					doneAt[v] = round
 					outputs[v] = fault.CrashError{Node: v, Round: round}
+					if measure {
+						m.Emit("fault.crash", "", 1)
+					}
 				}
 				if !done {
+					if measure {
+						roundActive.Add(1)
+					}
 					outbox, done = machines[v].Round(round, inbox)
 					if done {
 						doneAt[v] = round
@@ -94,12 +125,18 @@ func RunGoroutineConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg Ru
 					}
 					if m != nil {
 						localMsgs++
+						if measure {
+							roundBytes.Add(obs.ApproxSize(m))
+						}
 					}
 					w := g.Neighbors(v)[i]
 					ch[w][portAt[v][i]] <- m
 				}
 				if localMsgs > 0 {
 					msgCount.Add(localMsgs)
+					if measure {
+						roundMsgs.Add(localMsgs)
+					}
 				}
 				for i := 0; i < deg; i++ {
 					inbox[i] = <-ch[v][i]
@@ -134,7 +171,10 @@ func RunGoroutineConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg Ru
 
 // barrier synchronizes n goroutines at the end of each round and aggregates
 // a per-node done flag; wait returns allDone=true when every participant
-// passed done=true this round.
+// passed done=true this round. When onRound is set, the last goroutine to
+// arrive each round calls it (under the barrier lock, before releasing the
+// others) with the 1-based round number that just completed — the metrics
+// layer's per-round recording point.
 type barrier struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -144,6 +184,7 @@ type barrier struct {
 	gen       int
 	allDone   bool
 	cancelled bool
+	onRound   func(round int)
 }
 
 func newBarrier(n int) *barrier {
@@ -168,6 +209,9 @@ func (b *barrier) wait(done bool) (allDone, cancelled bool) {
 		b.arrived = 0
 		b.doneCount = 0
 		b.gen++
+		if b.onRound != nil {
+			b.onRound(b.gen)
+		}
 		b.cond.Broadcast()
 		return b.allDone, false
 	}

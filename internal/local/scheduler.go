@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"localadvice/internal/bitstr"
 	"localadvice/internal/fault"
 	"localadvice/internal/graph"
+	"localadvice/internal/obs"
 )
 
 // This file implements the sharded synchronous-round scheduler, the default
@@ -68,9 +70,11 @@ func Run(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error)
 	return RunMessageConfig(g, protocol, advice, RunConfig{Workers: workers})
 }
 
-// RunMessageConfig is Run with an explicit worker count (0 = GOMAXPROCS,
-// negative = sequential) and optional fault injection. Malformed advice is
-// reported as an error (wrapping ErrAdviceLength) before the engine starts.
+// RunMessageConfig is Run with an explicit RunConfig: a worker count
+// (resolved by RunConfig.normalize — the single place the contract is
+// documented), optional fault injection, and optional metrics collection.
+// Malformed advice is reported as an error (wrapping ErrAdviceLength)
+// before the engine starts.
 // Under an active cfg.Fault, advice corruption and ID reassignment are
 // applied up front; a crashed node stops participating at its crash round
 // (it sends nothing from then on and its output slot holds a
@@ -94,12 +98,33 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 	outputs := make([]any, n)
 	var msgCount atomic.Int64
 
+	// Metrics: when a collector is installed, each shard additionally
+	// counts active nodes and payload bytes, and each worker times its
+	// sweep; the round loop aggregates and records one RoundMetric per
+	// round. Messages, bytes and active counts are per-shard sums of
+	// order-independent integers, so they are bit-identical for every
+	// worker count. With no collector every extra branch below is a single
+	// predictable bool test and no allocation happens.
+	m := cfg.collector()
+	measure := m.Enabled()
+	var runID int
+	if measure {
+		runID = m.BeginRun("scheduler", n)
+	}
+
+	// sweepStats carries one shard's per-round aggregates back to the
+	// round loop.
+	type sweepStats struct {
+		sent    int64
+		bytes   int64
+		active  int
+		allDone bool
+	}
+
 	// sweep advances every node in [lo, hi) by one round: read the inbox
-	// from cur, step the machine, deliver the outbox into next. It reports
-	// whether every node in the shard has terminated.
-	sweep := func(lo, hi, round int, cur, next []Message) bool {
-		sent := int64(0)
-		allDone := true
+	// from cur, step the machine, deliver the outbox into next.
+	sweep := func(lo, hi, round int, cur, next []Message) sweepStats {
+		st := sweepStats{allDone: true}
 		for v := lo; v < hi; v++ {
 			start, end := pt.off[v], pt.off[v+1]
 			var outbox []Message
@@ -110,8 +135,12 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 				done[v] = true
 				doneAt[v] = round
 				outputs[v] = fault.CrashError{Node: v, Round: round}
+				if measure {
+					m.Emit("fault.crash", "", 1)
+				}
 			}
 			if !done[v] {
+				st.active++
 				// The inbox slice aliases the slab and is valid only for
 				// the duration of the call (same contract as the other
 				// engines, which reuse a per-node buffer).
@@ -122,64 +151,93 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 				}
 			}
 			if !done[v] {
-				allDone = false
+				st.allDone = false
 			}
 			// Every port is written every round — nil from terminated or
 			// silent nodes — so next never needs clearing between rounds.
 			deg := int(end - start)
 			for i := 0; i < deg; i++ {
-				var m Message
+				var msg Message
 				if i < len(outbox) {
-					m = outbox[i]
+					msg = outbox[i]
 				}
-				if m != nil {
-					sent++
+				if msg != nil {
+					st.sent++
+					if measure {
+						st.bytes += obs.ApproxSize(msg)
+					}
 				}
-				next[pt.sendSlot[start+int32(i)]] = m
+				next[pt.sendSlot[start+int32(i)]] = msg
 			}
 		}
-		if sent > 0 {
-			msgCount.Add(sent)
+		if st.sent > 0 {
+			msgCount.Add(st.sent)
 		}
-		return allDone
+		return st
 	}
 
 	shard := 0
-	var shardDone []bool
+	var shardStats []sweepStats
+	var shardNanos []int64
 	if workers > 1 {
 		shard = (n + workers - 1) / workers
-		shardDone = make([]bool, workers)
+		shardStats = make([]sweepStats, workers)
+	}
+	if measure && workers > 1 {
+		shardNanos = make([]int64, workers)
 	}
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return nil, Stats{}, fmt.Errorf("local: scheduler exceeded %d rounds", maxRounds)
 		}
-		var allDone bool
+		var roundStart time.Time
+		if measure {
+			roundStart = time.Now()
+		}
+		var total sweepStats
 		if workers <= 1 {
-			allDone = sweep(0, n, round, cur, next)
+			total = sweep(0, n, round, cur, next)
 		} else {
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				lo := w * shard
 				hi := min(lo+shard, n)
 				if lo >= hi {
-					shardDone[w] = true
+					shardStats[w] = sweepStats{allDone: true}
 					continue
 				}
 				wg.Add(1)
 				go func(w, lo, hi int) {
 					defer wg.Done()
-					shardDone[w] = sweep(lo, hi, round, cur, next)
+					if measure {
+						shardStart := time.Now()
+						shardStats[w] = sweep(lo, hi, round, cur, next)
+						shardNanos[w] = time.Since(shardStart).Nanoseconds()
+					} else {
+						shardStats[w] = sweep(lo, hi, round, cur, next)
+					}
 				}(w, lo, hi)
 			}
 			wg.Wait()
-			allDone = true
-			for _, d := range shardDone {
-				allDone = allDone && d
+			total = sweepStats{allDone: true}
+			for _, st := range shardStats {
+				total.sent += st.sent
+				total.bytes += st.bytes
+				total.active += st.active
+				total.allDone = total.allDone && st.allDone
 			}
 		}
+		if measure {
+			rm := obs.RoundMetric{Engine: "scheduler", Run: runID, Round: round,
+				ActiveNodes: total.active, Messages: total.sent, Bytes: total.bytes,
+				WallNanos: time.Since(roundStart).Nanoseconds()}
+			if shardNanos != nil {
+				rm.ShardNanos = append([]int64(nil), shardNanos...)
+			}
+			m.RecordRound(rm)
+		}
 		cur, next = next, cur
-		if allDone {
+		if total.allDone {
 			break
 		}
 	}

@@ -2,9 +2,11 @@ package local
 
 import (
 	"fmt"
+	"time"
 
 	"localadvice/internal/fault"
 	"localadvice/internal/graph"
+	"localadvice/internal/obs"
 )
 
 // RunSequential executes a message protocol with a single-threaded,
@@ -54,19 +56,39 @@ func RunSequentialConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg R
 	outputs := make([]any, n)
 	msgCount := 0
 
+	// Metrics: the sequential engine records the same per-round counters as
+	// the scheduler (the equivalence tests compare their deterministic
+	// projections); with no collector the extra branches are dead.
+	m := cfg.collector()
+	measure := m.Enabled()
+	var runID int
+	if measure {
+		runID = m.BeginRun("sequential", n)
+	}
+
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return nil, Stats{}, fmt.Errorf("local: sequential engine exceeded %d rounds", maxRounds)
 		}
+		var roundStart time.Time
+		if measure {
+			roundStart = time.Now()
+		}
 		allDone := true
+		active := 0
+		sent, bytes := int64(0), int64(0)
 		for v := 0; v < n; v++ {
 			var outbox []Message
 			if !done[v] && cfg.Fault.Crashes(v, round) {
 				done[v] = true
 				doneAt[v] = round
 				outputs[v] = fault.CrashError{Node: v, Round: round}
+				if measure {
+					m.Emit("fault.crash", "", 1)
+				}
 			}
 			if !done[v] {
+				active++
 				outbox, done[v] = machines[v].Round(round, inboxes[v])
 				if done[v] {
 					doneAt[v] = round
@@ -77,15 +99,19 @@ func RunSequentialConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg R
 				allDone = false
 			}
 			for i := 0; i < g.Degree(v); i++ {
-				var m Message
+				var msg Message
 				if i < len(outbox) {
-					m = outbox[i]
+					msg = outbox[i]
 				}
-				if m != nil {
+				if msg != nil {
 					msgCount++
+					if measure {
+						sent++
+						bytes += obs.ApproxSize(msg)
+					}
 				}
 				w := g.Neighbors(v)[i]
-				nextInboxes[w][portAt[v][i]] = m
+				nextInboxes[w][portAt[v][i]] = msg
 			}
 		}
 		inboxes, nextInboxes = nextInboxes, inboxes
@@ -93,6 +119,11 @@ func RunSequentialConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg R
 			for i := range nextInboxes[v] {
 				nextInboxes[v][i] = nil
 			}
+		}
+		if measure {
+			m.RecordRound(obs.RoundMetric{Engine: "sequential", Run: runID, Round: round,
+				ActiveNodes: active, Messages: sent, Bytes: bytes,
+				WallNanos: time.Since(roundStart).Nanoseconds()})
 		}
 		if allDone {
 			break

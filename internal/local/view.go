@@ -54,11 +54,11 @@ func BuildView(g *graph.Graph, advice Advice, v, radius int) *View {
 // TryRunBall executes a ball algorithm with the given radius on every node
 // of g and returns the per-node outputs, reporting malformed advice as an
 // error (wrapping ErrAdviceLength) before the engine starts. The round
-// count is exactly the radius. Large graphs fan out over a worker pool
-// (GOMAXPROCS workers unless SetDefaultWorkers says otherwise); small graphs
-// run sequentially, since fan-out overhead dominates below a few hundred
-// nodes. Either way the outputs and Stats are identical to a single-worker
-// run.
+// count is exactly the radius. The worker count comes from SetDefaultWorkers
+// and is resolved by RunConfig.normalize (the single source of truth for
+// the Workers contract); small graphs additionally run sequentially, since
+// fan-out overhead dominates below a few hundred nodes. Either way the
+// outputs and Stats are identical to a single-worker run.
 func TryRunBall(g *graph.Graph, advice Advice, radius int, algo BallAlgorithm) ([]any, Stats, error) {
 	workers := int(defaultWorkers.Load())
 	if g.N() < parallelThreshold && workers == 0 {

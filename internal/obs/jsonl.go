@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// traceLine is one JSONL trace record. Type is "round", "event" or
+// "summary"; exactly one of the payload fields is set.
+type traceLine struct {
+	Type    string       `json:"type"`
+	Round   *RoundMetric `json:"round,omitempty"`
+	Event   *Event       `json:"event,omitempty"`
+	Summary *Summary     `json:"summary,omitempty"`
+}
+
+// WriteJSONL streams the collector's contents as JSON Lines: one "round"
+// record per engine round (recording order), one "event" record per event,
+// and a final "summary" record. The schema is documented in the README's
+// Observability section; `locad trace` and `locad exp -trace` produce it.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range c.Rounds() {
+		r := r
+		if err := enc.Encode(traceLine{Type: "round", Round: &r}); err != nil {
+			return err
+		}
+	}
+	for _, e := range c.Events() {
+		e := e
+		if err := enc.Encode(traceLine{Type: "event", Event: &e}); err != nil {
+			return err
+		}
+	}
+	s := c.Summary()
+	if err := enc.Encode(traceLine{Type: "summary", Summary: &s}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilCollectorIsSafeAndAllocationFree pins the zero-cost-when-disabled
+// contract at the hook level: every method of a nil *Collector is a no-op
+// that performs zero allocations, so the engines' `if m.Enabled()` guards
+// cost nothing when no collector is installed.
+func TestNilCollectorIsSafeAndAllocationFree(t *testing.T) {
+	var c *Collector
+	hooks := map[string]func(){
+		"Enabled":     func() { _ = c.Enabled() },
+		"Start":       func() { c.Start() },
+		"Stop":        func() { c.Stop() },
+		"BeginRun":    func() { _ = c.BeginRun("scheduler", 100) },
+		"RecordRound": func() { c.RecordRound(RoundMetric{Round: 1}) },
+		"Emit":        func() { c.Emit("lll.resamplings", "", 3) },
+		"Rounds":      func() { _ = c.Rounds() },
+		"Events":      func() { _ = c.Events() },
+		"Summary":     func() { _ = c.Summary() },
+	}
+	for name, fn := range hooks {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("nil Collector %s allocates %.1f per call, want 0", name, allocs)
+		}
+	}
+	if err := c.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+}
+
+// TestDefaultUnsetIsAllocationFree: the engines' fallback path (Default()
+// load + nil check) must also be free.
+func TestDefaultUnsetIsAllocationFree(t *testing.T) {
+	SetDefault(nil)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if Default().Enabled() {
+			t.Fatal("unexpected default collector")
+		}
+	}); allocs != 0 {
+		t.Errorf("Default() path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestSetDefaultRoundTrip(t *testing.T) {
+	c := &Collector{}
+	SetDefault(c)
+	defer SetDefault(nil)
+	if Default() != c {
+		t.Fatal("Default did not return the installed collector")
+	}
+	SetDefault(nil)
+	if Default() != nil {
+		t.Fatal("SetDefault(nil) did not uninstall")
+	}
+}
+
+func TestCollectorRecordsRoundsAndEvents(t *testing.T) {
+	c := &Collector{}
+	c.Start()
+	run := c.BeginRun("scheduler", 64)
+	if run != 1 {
+		t.Fatalf("first run id = %d, want 1", run)
+	}
+	for r := 1; r <= 4; r++ {
+		c.RecordRound(RoundMetric{Engine: "scheduler", Run: run, Round: r,
+			ActiveNodes: 64 - r, Messages: int64(10 * r), Bytes: int64(100 * r),
+			WallNanos: int64(r) * 1000})
+	}
+	c.Emit("lll.resamplings", "orient", 7)
+	c.Emit("lll.resamplings", "orient", 5)
+	time.Sleep(time.Millisecond)
+	c.Stop()
+
+	rounds := c.Rounds()
+	if len(rounds) != 4 {
+		t.Fatalf("got %d rounds, want 4", len(rounds))
+	}
+	if rounds[2].Messages != 30 || rounds[2].ActiveNodes != 61 {
+		t.Errorf("round 3 = %+v", rounds[2])
+	}
+	s := c.Summary()
+	if s.Runs != 1 || s.Rounds != 4 {
+		t.Errorf("summary runs/rounds = %d/%d, want 1/4", s.Runs, s.Rounds)
+	}
+	if s.Messages != 100 || s.Bytes != 1000 {
+		t.Errorf("summary messages/bytes = %d/%d, want 100/1000", s.Messages, s.Bytes)
+	}
+	if s.MaxActive != 63 {
+		t.Errorf("max active = %d, want 63", s.MaxActive)
+	}
+	if s.RoundMaxNanos != 4000 || s.RoundP50Nanos != 2000 {
+		t.Errorf("latency p50/max = %d/%d, want 2000/4000", s.RoundP50Nanos, s.RoundMaxNanos)
+	}
+	if s.WallNanos <= 0 {
+		t.Errorf("wall nanos = %d, want > 0", s.WallNanos)
+	}
+	if s.MsgsPerSec <= 0 {
+		t.Errorf("msgs/s = %f, want > 0", s.MsgsPerSec)
+	}
+	if s.EventTotals["lll.resamplings"] != 12 {
+		t.Errorf("event total = %d, want 12", s.EventTotals["lll.resamplings"])
+	}
+	if !strings.Contains(s.String(), "rounds=4") {
+		t.Errorf("summary string %q missing rounds", s.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    int
+		want int64
+	}{{50, 50}, {95, 100}, {100, 100}, {1, 10}, {0, 10}}
+	for _, c := range cases {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("percentile(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %d, want 0", got)
+	}
+}
+
+// TestWriteJSONL checks the trace schema: every line is a JSON object with
+// a type tag, rounds and events in recording order, one trailing summary.
+func TestWriteJSONL(t *testing.T) {
+	c := &Collector{}
+	c.Start()
+	run := c.BeginRun("sequential", 8)
+	c.RecordRound(RoundMetric{Engine: "sequential", Run: run, Round: 1, ActiveNodes: 8, Messages: 16, Bytes: 128})
+	c.RecordRound(RoundMetric{Engine: "sequential", Run: run, Round: 2, ActiveNodes: 3, Messages: 6, Bytes: 48})
+	c.Emit("fault.crash", "", 1)
+	c.Stop()
+
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Type  string       `json:"type"`
+			Round *RoundMetric `json:"round"`
+			Event *Event       `json:"event"`
+			Sum   *Summary     `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, line.Type)
+		switch line.Type {
+		case "round":
+			if line.Round == nil || line.Round.Engine != "sequential" {
+				t.Errorf("bad round line: %+v", line.Round)
+			}
+		case "event":
+			if line.Event == nil || line.Event.Kind == "" {
+				t.Errorf("bad event line: %+v", line.Event)
+			}
+		case "summary":
+			if line.Sum == nil || line.Sum.Rounds != 2 {
+				t.Errorf("bad summary line: %+v", line.Sum)
+			}
+		}
+	}
+	want := []string{"round", "round", "event", "event", "summary"}
+	if !reflect.DeepEqual(types, want) {
+		t.Errorf("line types = %v, want %v", types, want)
+	}
+}
+
+// TestApproxSizeDeterministic pins that equal values yield equal sizes (the
+// property that makes per-round byte counts worker-independent) and that
+// the estimate grows with payload size.
+func TestApproxSizeDeterministic(t *testing.T) {
+	type fact struct {
+		ID        int64
+		Neighbors []int64
+		Name      string
+	}
+	mk := func() any {
+		return []fact{{ID: 7, Neighbors: []int64{1, 2, 3}, Name: "abc"}, {ID: 9}}
+	}
+	a, b := ApproxSize(mk()), ApproxSize(mk())
+	if a != b || a <= 0 {
+		t.Errorf("ApproxSize not deterministic: %d vs %d", a, b)
+	}
+	small := ApproxSize("ab")
+	big := ApproxSize("abcdefghijklmnop")
+	if big <= small {
+		t.Errorf("size should grow with payload: %d vs %d", small, big)
+	}
+	if ApproxSize(nil) != 0 {
+		t.Errorf("ApproxSize(nil) = %d, want 0", ApproxSize(nil))
+	}
+	// Pointer, map, interface and array kinds all walk without panicking.
+	m := map[string][]int{"x": {1, 2}, "y": {3}}
+	if ApproxSize(m) <= 0 {
+		t.Errorf("map size = %d", ApproxSize(m))
+	}
+	v := [4]string{"a", "bb", "ccc"}
+	if ApproxSize(&v) <= ApproxSize(v)-int64(len("abbccc")) {
+		t.Errorf("pointer walk lost indirect storage")
+	}
+	var iface any = &fact{Neighbors: []int64{1}}
+	if ApproxSize(iface) <= 0 {
+		t.Errorf("interface size = %d", ApproxSize(iface))
+	}
+}
+
+func TestDeterministicProjection(t *testing.T) {
+	r := RoundMetric{Engine: "scheduler", Run: 2, Round: 5, ActiveNodes: 10,
+		Messages: 40, Bytes: 400, WallNanos: 12345, ShardNanos: []int64{5, 7}}
+	d := r.Deterministic()
+	if d.WallNanos != 0 || d.ShardNanos != nil {
+		t.Errorf("projection kept wall-clock fields: %+v", d)
+	}
+	if d.Round != 5 || d.Messages != 40 || d.Bytes != 400 || d.ActiveNodes != 10 {
+		t.Errorf("projection dropped deterministic fields: %+v", d)
+	}
+}

@@ -10,6 +10,11 @@
 # benchmarks report resamplings/s). Raw `go test -bench` output is kept
 # alongside the parsed records so nothing is lost to parsing.
 #
+# The report also embeds `locad exp -summary` output under the
+# "experiments" key: real per-experiment engine metrics (rounds, messages,
+# bytes, round-latency percentiles, allocator deltas) from the internal/obs
+# instrumentation layer, collected from an observed sequential run.
+#
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
@@ -32,7 +37,13 @@ go test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normali
 race_seconds=$(( $(date +%s) - race_start ))
 echo "race-enabled equivalence tests: ${race_seconds}s"
 
-awk -v date="$(date +%F)" -v race_seconds="$race_seconds" '
+# Observed experiment run: per-experiment engine metrics via internal/obs.
+exp_json=$(mktemp)
+trap 'rm -f "$raw" "$exp_json"' EXIT
+go run ./cmd/locad exp -summary "$exp_json" >/dev/null
+echo "observed experiment metrics collected"
+
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -52,7 +63,15 @@ BEGIN { n = 0 }
     recs[n++] = rec
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"race_equivalence_seconds\": %s,\n  \"benchmarks\": [\n", date, cpu, race_seconds
+    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"race_equivalence_seconds\": %s,\n", date, cpu, race_seconds
+    ne = 0
+    while ((getline line < expfile) > 0) explines[ne++] = line
+    if (ne > 0) {
+        printf "  \"experiments\": %s\n", explines[0]
+        for (i = 1; i < ne - 1; i++) printf "  %s\n", explines[i]
+        printf "  %s,\n", explines[ne - 1]
+    }
+    printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
 }

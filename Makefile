@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test check check-race cover fuzz bench bench-msg exp clean
+.PHONY: all build test check check-race cover fuzz bench bench-msg exp serve-smoke clean
 
 all: build
 
@@ -14,12 +14,16 @@ test:
 # CI gate: vet, the full suite (which replays every fuzz seed corpus), a
 # race-enabled run of the engine-equivalence and fault-injection property
 # tests — the tests most likely to catch a data race introduced in the
-# parallel engines — the benchmark-regression comparison against the newest
-# recorded BENCH_*.json baseline, and the per-package coverage floor.
+# parallel engines — plus the serving layer's concurrency tests (cache
+# singleflight, shutdown drain, load shedding) under the race detector, the
+# serve round-trip smoke, the benchmark-regression comparison against the
+# newest recorded BENCH_*.json baseline, and the per-package coverage floor.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize' ./internal/local ./internal/fault
+	$(GO) test -race -count=1 -run 'Race|Singleflight|Property|Flush|Cached' ./internal/server ./internal/cache
+	$(MAKE) serve-smoke
 	LOCAD_BENCH_REGRESSION=1 $(GO) test -count=1 -run TestBenchRegression .
 	$(MAKE) cover
 
@@ -27,7 +31,7 @@ check:
 # (engines, schema substrate, instrumentation) must each stay at or above
 # 70% statement coverage.
 COVER_FLOOR := 70.0
-COVER_PKGS  := ./internal/local ./internal/core ./internal/obs
+COVER_PKGS  := ./internal/local ./internal/core ./internal/obs ./internal/server ./internal/cache
 
 cover:
 	$(GO) test -count=1 -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
@@ -51,6 +55,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph
 	$(GO) test -fuzz=FuzzDecodeVarArbitraryAdvice -fuzztime=30s ./internal/orient
 	$(GO) test -fuzz=FuzzDecodeArbitraryBits -fuzztime=30s ./internal/growth
+	$(GO) test -fuzz=FuzzHandleDecode -fuzztime=30s ./internal/server
 
 # Full benchmark sweep, recorded as BENCH_<date>.json for regression tracking.
 bench:
@@ -60,6 +65,12 @@ bench:
 # Moser-Tardos resampling throughput), recorded the same way.
 bench-msg:
 	scripts/bench.sh BENCH_$(DATE)_msg.json 'Engine|MessageEngine|MoserTardos|LLL'
+
+# Serving-layer smoke: build locad, start `locad serve` on an ephemeral
+# port, drive it with a short loadgen, scrape /v1/stats, and check that
+# SIGTERM drains to a clean exit.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Regenerate the experiment tables (EXPERIMENTS.md source of truth).
 exp:

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// cmdLoadgen drives a running `locad serve` instance with /v1/decode
+// traffic in two phases — cold (per-request cache bypass, the full
+// parse/encode/compile/decode pipeline every time) and warm (cache on, the
+// steady-state serving path) — and reports throughput and latency
+// percentiles for each, plus their ratio. With -json the report is a single
+// JSON object (the shape scripts/bench.sh embeds under the "serve" key of
+// BENCH_*.json) and includes a /v1/stats scrape from the server.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "address of a running locad serve")
+	schema := fs.String("schema", "mis", "advice schema to decode")
+	family := fs.String("graph", "cycle", "graph family of the workload")
+	n := fs.Int("n", 64, "graph size")
+	seed := fs.Int64("seed", 1, "graph seed")
+	concurrency := fs.Int("concurrency", 8, "concurrent request loops")
+	duration := fs.Duration("duration", 2*time.Second, "wall-clock length of each phase")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	type decodeReq struct {
+		Schema string `json:"schema"`
+		Graph  struct {
+			Family string `json:"family"`
+			N      int    `json:"n"`
+			Seed   int64  `json:"seed"`
+		} `json:"graph"`
+		Cache bool `json:"cache"`
+	}
+	makeBody := func(cached bool) []byte {
+		var req decodeReq
+		req.Schema = *schema
+		req.Graph.Family = *family
+		req.Graph.N = *n
+		req.Graph.Seed = *seed
+		req.Cache = cached
+		b, _ := json.Marshal(req)
+		return b
+	}
+
+	// One priming request up front: fail fast on a bad schema/graph/addr
+	// instead of reporting a phase full of errors.
+	if _, err := postOnce(client, base+"/v1/decode", makeBody(true)); err != nil {
+		return fmt.Errorf("priming request: %w", err)
+	}
+
+	cold, err := runPhase(client, base+"/v1/decode", makeBody(false), *concurrency, *duration)
+	if err != nil {
+		return err
+	}
+	warm, err := runPhase(client, base+"/v1/decode", makeBody(true), *concurrency, *duration)
+	if err != nil {
+		return err
+	}
+
+	ratio := 0.0
+	if cold.RPS > 0 {
+		ratio = warm.RPS / cold.RPS
+	}
+
+	if *jsonOut {
+		report := map[string]any{
+			"addr":               *addr,
+			"schema":             *schema,
+			"graph":              map[string]any{"family": *family, "n": *n, "seed": *seed},
+			"concurrency":        *concurrency,
+			"phase_seconds":      duration.Seconds(),
+			"cold":               cold,
+			"warm":               warm,
+			"warm_over_cold_rps": ratio,
+		}
+		if stats, err := scrapeStats(client, base); err == nil {
+			report["stats"] = stats
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
+	fmt.Printf("loadgen %s schema=%s graph=%s n=%d concurrency=%d phase=%s\n",
+		*addr, *schema, *family, *n, *concurrency, *duration)
+	for _, p := range []struct {
+		name string
+		r    phaseReport
+	}{{"cold", cold}, {"warm", warm}} {
+		fmt.Printf("  %-4s %8.1f req/s  p50 %-10s p95 %-10s p99 %-10s (%d ok, %d errors)\n",
+			p.name, p.r.RPS,
+			time.Duration(p.r.P50Nanos), time.Duration(p.r.P95Nanos), time.Duration(p.r.P99Nanos),
+			p.r.Requests-p.r.Errors, p.r.Errors)
+	}
+	fmt.Printf("  warm/cold throughput: %.1fx\n", ratio)
+	return nil
+}
+
+// phaseReport summarizes one loadgen phase.
+type phaseReport struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Shed     int     `json:"shed"`
+	RPS      float64 `json:"rps"`
+	AvgNanos int64   `json:"avg_nanos"`
+	P50Nanos int64   `json:"p50_nanos"`
+	P95Nanos int64   `json:"p95_nanos"`
+	P99Nanos int64   `json:"p99_nanos"`
+}
+
+// runPhase hammers url with identical POST bodies from `concurrency` loops
+// for the given wall-clock duration. 429 responses are counted as shed, not
+// errors: they are the server's bounded pool doing its job.
+func runPhase(client *http.Client, url string, body []byte, concurrency int, d time.Duration) (phaseReport, error) {
+	deadline := time.Now().Add(d)
+	type lane struct {
+		lat    []int64
+		errors int
+		shed   int
+		err    error
+	}
+	lanes := make([]lane, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(ln *lane) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				status, err := postOnce(client, url, body)
+				if err != nil {
+					ln.err = err
+					return
+				}
+				switch {
+				case status == http.StatusTooManyRequests:
+					ln.shed++
+					continue
+				case status != http.StatusOK:
+					ln.errors++
+					continue
+				}
+				ln.lat = append(ln.lat, time.Since(start).Nanoseconds())
+			}
+		}(&lanes[i])
+	}
+	wg.Wait()
+
+	var all []int64
+	rep := phaseReport{}
+	for i := range lanes {
+		if lanes[i].err != nil {
+			return rep, lanes[i].err
+		}
+		all = append(all, lanes[i].lat...)
+		rep.Errors += lanes[i].errors
+		rep.Shed += lanes[i].shed
+	}
+	rep.Requests = len(all) + rep.Errors
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		var sum int64
+		for _, v := range all {
+			sum += v
+		}
+		rep.AvgNanos = sum / int64(len(all))
+		rep.P50Nanos = pctl(all, 50)
+		rep.P95Nanos = pctl(all, 95)
+		rep.P99Nanos = pctl(all, 99)
+		rep.RPS = float64(len(all)) / d.Seconds()
+	}
+	return rep, nil
+}
+
+// pctl reads the p-th percentile of a sorted sample.
+func pctl(sorted []int64, p int) int64 {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// postOnce sends one JSON POST and returns the HTTP status. The body is
+// drained so the client can reuse the connection.
+func postOnce(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// scrapeStats fetches /v1/stats as raw JSON for embedding in the report.
+func scrapeStats(client *http.Client, base string) (json.RawMessage, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	return json.RawMessage(data), nil
+}

@@ -77,6 +77,10 @@ func run(args []string) error {
 		return cmdGen(args[1:])
 	case "load":
 		return cmdLoad(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -111,6 +115,11 @@ subcommands:
   dot               render a graph (+ optional schema overlay) as Graphviz DOT
   gen               write a generated graph in the edge-list text format
   load              parse and validate an edge-list file
+  serve             run the HTTP/JSON serving layer (-addr -cache-mb
+                    -max-inflight -timeout); SIGTERM drains gracefully
+  loadgen           drive a running serve with cold/warm /v1/decode traffic
+                    and report req/s + p50/p95/p99 per phase (-json for the
+                    shape bench.sh embeds)
 
 common flags: -graph {cycle,path,grid,torus,regular,planted3,planted4} -n <size> -seed <s>
               -workers <w>  view-engine / experiment worker count (0 = GOMAXPROCS)
@@ -233,43 +242,10 @@ func graphFlags(fs *flag.FlagSet) (kind *string, n *int, seed *int64) {
 	return
 }
 
+// makeGraph delegates to the harness's request-shaped graph constructor so
+// the CLI and the serving API build identical graphs from identical specs.
 func makeGraph(kind string, n int, seed int64) (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
-	switch kind {
-	case "cycle":
-		return graph.TryCycle(n)
-	case "path":
-		return graph.TryPath(n)
-	case "grid":
-		side := intSqrt(n)
-		return graph.TryGrid2D(side, (n+side-1)/side)
-	case "torus":
-		side := intSqrt(n)
-		if side < 3 {
-			side = 3
-		}
-		return graph.TryTorus2D(side, (n+side-1)/side)
-	case "regular":
-		return graph.RandomRegular(n, 4, rng)
-	case "planted3":
-		g, _ := graph.RandomColorable(n, 3, 0.12, rng)
-		graph.AssignPermutedIDs(g, rng)
-		return g, nil
-	case "planted4":
-		g, _ := graph.RandomColorable(n, 4, 0.22, rng)
-		graph.AssignPermutedIDs(g, rng)
-		return g, nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", kind)
-	}
-}
-
-func intSqrt(n int) int {
-	s := 1
-	for (s+1)*(s+1) <= n {
-		s++
-	}
-	return s
+	return harness.BuildGraph(kind, n, seed)
 }
 
 func cmdOrient(args []string) error {

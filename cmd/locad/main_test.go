@@ -72,14 +72,6 @@ func TestMakeGraphFamilies(t *testing.T) {
 	}
 }
 
-func TestIntSqrt(t *testing.T) {
-	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 1}, {4, 2}, {48, 6}, {49, 7}, {100, 10}} {
-		if got := intSqrt(tc.in); got != tc.want {
-			t.Errorf("intSqrt(%d) = %d, want %d", tc.in, got, tc.want)
-		}
-	}
-}
-
 func TestGrowthSchemaNames(t *testing.T) {
 	for _, p := range []string{"3-coloring", "4-coloring", "mis", "maximal-matching"} {
 		if _, err := growthSchema(p, 20); err != nil {

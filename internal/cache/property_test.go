@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refModel is the executable specification the property test checks the
+// cache against: a map plus an explicit MRU-first key list, with the same
+// size bound and eviction rule.
+type refModel struct {
+	maxBytes int64
+	bytes    int64
+	order    []string // MRU first
+	size     map[string]int64
+	value    map[string]int
+}
+
+func newRefModel(maxBytes int64) *refModel {
+	return &refModel{maxBytes: maxBytes, size: map[string]int64{}, value: map[string]int{}}
+}
+
+func (m *refModel) touch(key string) {
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.order = append([]string{key}, m.order...)
+}
+
+// do mirrors Cache.Do for a sequential caller; it returns the value and
+// whether the model predicts a hit.
+func (m *refModel) do(key string, val int, size int64) (int, bool) {
+	if _, ok := m.size[key]; ok {
+		m.touch(key)
+		return m.value[key], true
+	}
+	if size > m.maxBytes || m.maxBytes <= 0 {
+		return val, false
+	}
+	m.size[key] = size
+	m.value[key] = val
+	m.bytes += size
+	m.touch(key)
+	for m.bytes > m.maxBytes {
+		lru := m.order[len(m.order)-1]
+		m.order = m.order[:len(m.order)-1]
+		m.bytes -= m.size[lru]
+		delete(m.size, lru)
+		delete(m.value, lru)
+	}
+	return val, false
+}
+
+func (m *refModel) flush() {
+	m.order = nil
+	m.bytes = 0
+	m.size = map[string]int64{}
+	m.value = map[string]int{}
+}
+
+// TestCachePropertyVsModel drives random put/get/flush sequences through the
+// cache and the reference model in lockstep, checking after every operation
+// that (1) the byte bound is never exceeded, (2) hit/miss outcomes and
+// returned values agree, and (3) the resident keys agree in exact LRU order.
+func TestCachePropertyVsModel(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		maxBytes := int64(rng.Intn(200) + 1)
+		if trial == 0 {
+			maxBytes = 0 // the disabled-storage edge case
+		}
+		c := New(maxBytes)
+		m := newRefModel(maxBytes)
+		keyspace := rng.Intn(20) + 5
+		for op := 0; op < 400; op++ {
+			if rng.Intn(50) == 0 {
+				c.Flush()
+				m.flush()
+				continue
+			}
+			key := fmt.Sprintf("k%d", rng.Intn(keyspace))
+			size := int64(rng.Intn(60) + 1)
+			val := op
+			gotV, gotHit, err := c.Do(key, func() (any, int64, error) { return val, size, nil })
+			if err != nil {
+				t.Fatalf("trial %d op %d: unexpected error %v", trial, op, err)
+			}
+			wantV, wantHit := m.do(key, val, size)
+			if gotHit != wantHit {
+				t.Fatalf("trial %d op %d key %s: hit=%v, model says %v", trial, op, key, gotHit, wantHit)
+			}
+			if gotV.(int) != wantV {
+				t.Fatalf("trial %d op %d key %s: value %v, model says %v", trial, op, key, gotV, wantV)
+			}
+			st := c.Stats()
+			if st.Bytes > maxBytes && maxBytes > 0 {
+				t.Fatalf("trial %d op %d: resident bytes %d exceed bound %d", trial, op, st.Bytes, maxBytes)
+			}
+			if st.Bytes != m.bytes {
+				t.Fatalf("trial %d op %d: bytes %d, model %d", trial, op, st.Bytes, m.bytes)
+			}
+			gotKeys, wantKeys := fmt.Sprint(c.Keys()), fmt.Sprint(m.order)
+			if gotKeys != wantKeys {
+				t.Fatalf("trial %d op %d: LRU order %s, model %s", trial, op, gotKeys, wantKeys)
+			}
+		}
+	}
+}

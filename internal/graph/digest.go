@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest returns a hex SHA-256 fingerprint of the graph's full identity:
+// node count, per-index identifiers, and the edge list in insertion order.
+// Two graphs have equal digests iff Equal would report them identical, so
+// the digest is a stable cache key for any artifact derived from the graph
+// (snapshots, encoded advice, compiled decoder tables). The serving layer's
+// cache-key contract in DESIGN.md builds on exactly this guarantee.
+func (g *Graph) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(g.n))
+	for _, id := range g.ids {
+		writeInt(id)
+	}
+	writeInt(int64(len(g.edges)))
+	for _, e := range g.edges {
+		writeInt(int64(e.U))
+		writeInt(int64(e.V))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

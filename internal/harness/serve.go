@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"localadvice/internal/graph"
+)
+
+// This file is the request-shaped surface of the harness: entry points that
+// take plain (family, n, seed) / (experiment id) parameters — the shape of
+// an HTTP request — and are shared by the locad CLI and internal/server, so
+// a served experiment and a CLI experiment run through identical code.
+
+// GraphFamilies lists the graph families BuildGraph accepts, in the order
+// the CLI documents them.
+func GraphFamilies() []string {
+	return []string{"cycle", "path", "grid", "torus", "regular", "planted3", "planted4"}
+}
+
+// BuildGraph constructs a graph from a family name, target size and seed —
+// the shared graph-construction vocabulary of the locad CLI flags and the
+// serving API's graph specs. Grids and tori use the nearest rectangle to n;
+// the seed drives generated structure (regular, planted) and ID
+// permutations, and is ignored by the deterministic families.
+func BuildGraph(family string, n int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch family {
+	case "cycle":
+		return graph.TryCycle(n)
+	case "path":
+		return graph.TryPath(n)
+	case "grid":
+		side := intSqrt(n)
+		return graph.TryGrid2D(side, (n+side-1)/side)
+	case "torus":
+		side := intSqrt(n)
+		if side < 3 {
+			side = 3
+		}
+		return graph.TryTorus2D(side, (n+side-1)/side)
+	case "regular":
+		return graph.RandomRegular(n, 4, rng)
+	case "planted3":
+		g, _ := graph.RandomColorable(n, 3, 0.12, rng)
+		graph.AssignPermutedIDs(g, rng)
+		return g, nil
+	case "planted4":
+		g, _ := graph.RandomColorable(n, 4, 0.22, rng)
+		graph.AssignPermutedIDs(g, rng)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// RunOne runs a single experiment by ID (case-insensitive), optionally
+// observed through a fresh obs collector, and returns its result. It is the
+// single-experiment form of RunManyObserved used by the serving layer's
+// /v1/experiment endpoint.
+func RunOne(id string, observe bool) (ExperimentResult, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return ExperimentResult{}, fmt.Errorf("unknown experiment %q (have %v)", id, IDs())
+	}
+	results, err := RunManyObserved([]Experiment{e}, 1, observe)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return results[0], nil
+}

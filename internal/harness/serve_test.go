@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntSqrt(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 1}, {4, 2}, {48, 6}, {49, 7}, {100, 10}} {
+		if got := intSqrt(tc.in); got != tc.want {
+			t.Errorf("intSqrt(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBuildGraphFamilies(t *testing.T) {
+	for _, kind := range GraphFamilies() {
+		g, err := BuildGraph(kind, 40, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 30 {
+			t.Errorf("%s: suspiciously small graph n=%d", kind, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestBuildGraphUnknownFamily(t *testing.T) {
+	if _, err := BuildGraph("moebius", 10, 1); err == nil || !strings.Contains(err.Error(), "unknown graph family") {
+		t.Fatalf("err = %v, want unknown graph family", err)
+	}
+}
+
+func TestBuildGraphDeterministic(t *testing.T) {
+	a, err := BuildGraph("regular", 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildGraph("regular", 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("same (family, n, seed) produced different graphs")
+	}
+	c, err := BuildGraph("regular", 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRunOneUnknownID(t *testing.T) {
+	if _, err := RunOne("E999", false); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown experiment", err)
+	}
+}
+
+func TestRunOneRuns(t *testing.T) {
+	res, err := RunOne("e2", false) // ID lookup is case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.ID != "E2" {
+		t.Errorf("table ID = %q, want E2", res.Table.ID)
+	}
+	if len(res.Table.Rows) == 0 {
+		t.Error("experiment produced no table rows")
+	}
+	if res.Summary != nil {
+		t.Error("unobserved run carries a summary")
+	}
+}

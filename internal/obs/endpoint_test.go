@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEndpointMetricsCountsAndPercentiles(t *testing.T) {
+	var m EndpointMetrics
+	for i := 1; i <= 100; i++ {
+		m.Observe(time.Duration(i)*time.Millisecond, i%10 == 0)
+	}
+	s := m.Snapshot()
+	if s.Count != 100 || s.Errors != 10 {
+		t.Fatalf("count=%d errors=%d, want 100/10", s.Count, s.Errors)
+	}
+	if s.P50Nanos != (50 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("p50 = %d", s.P50Nanos)
+	}
+	if s.P95Nanos != (95 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("p95 = %d", s.P95Nanos)
+	}
+	if s.P99Nanos != (99 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("p99 = %d", s.P99Nanos)
+	}
+	if s.MaxNanos != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("max = %d", s.MaxNanos)
+	}
+	// 5050ms over 100 requests = 50.5ms.
+	if s.AvgNanos < (50*time.Millisecond).Nanoseconds() || s.AvgNanos > (51*time.Millisecond).Nanoseconds() {
+		t.Fatalf("avg = %d", s.AvgNanos)
+	}
+}
+
+func TestEndpointMetricsWindowBounded(t *testing.T) {
+	var m EndpointMetrics
+	// Fill past the window with slow samples, then overwrite with fast ones:
+	// percentiles must describe the recent window, counters the lifetime.
+	for i := 0; i < endpointWindow; i++ {
+		m.Observe(time.Second, false)
+	}
+	for i := 0; i < endpointWindow; i++ {
+		m.Observe(time.Millisecond, false)
+	}
+	s := m.Snapshot()
+	if s.Count != 2*endpointWindow {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P95Nanos != time.Millisecond.Nanoseconds() {
+		t.Fatalf("p95 = %d, want the recent-window value", s.P95Nanos)
+	}
+	if s.MaxNanos != time.Second.Nanoseconds() {
+		t.Fatalf("max = %d, want the lifetime value", s.MaxNanos)
+	}
+}
+
+func TestEndpointMetricsConcurrent(t *testing.T) {
+	var m EndpointMetrics
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Observe(time.Microsecond, false)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := m.Snapshot(); s.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", s.Count)
+	}
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzHandleDecode throws arbitrary bytes at POST /v1/decode in two forms —
+// the raw bytes as the whole request body, and the bytes reshaped into the
+// advice array of an otherwise well-formed request — and asserts the
+// serving contract: the handler never panics, never answers 5xx (arbitrary
+// client input is always a client error), and never leaks internals.
+//
+// The seed corpus below covers every request class the endpoint matrix
+// pins, so a plain `go test` replays it as a smoke test.
+func FuzzHandleDecode(f *testing.F) {
+	// Whole-body seeds.
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"cycle","n":12}}`), []byte("1"))
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"cycle","n":12},"cache":false}`), []byte("0"))
+	f.Add([]byte(`{"schema":"color3","graph":{"family":"cycle","n":40}}`), []byte(""))
+	f.Add([]byte(`{"schema":`), []byte("10"))
+	f.Add([]byte(`not json`), []byte("xx"))
+	f.Add([]byte(``), []byte("\x00\xff"))
+	f.Add([]byte(`{"schema":7,"graph":[]}`), []byte("11"))
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"cycle","n":100000}}`), []byte("1"))
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"regular","n":-5}}`), []byte("1"))
+	f.Add([]byte(`{"schema":"quantum","graph":{"family":"cycle","n":8}}`), []byte("1"))
+	f.Add([]byte(`{"schema":"mis","graph":{"text":"n 4\ne 0 9\n"}}`), []byte("1"))
+	f.Add([]byte(`{"schema":"mis","graph":{"text":"garbage"}}`), []byte("1"))
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"cycle","n":6},"advice":["1","1","1","1","1","1"]}`), []byte("111111"))
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"cycle","n":6},"advice":[]}`), []byte(""))
+	f.Add([]byte(`{"schema":"mis","graph":{"family":"cycle","n":6},"advice":["é","0","1","0","1","0"]}`), []byte("\xc3\xa9"))
+
+	// One server for the whole fuzz process: cheap per-exec, and a shared
+	// cache stresses the generation/singleflight logic with hostile input.
+	s := New(Config{MaxNodes: 64, MaxBodyBytes: 1 << 16, CacheBytes: 1 << 20})
+
+	f.Fuzz(func(t *testing.T, body []byte, adviceBytes []byte) {
+		check := func(kind string, w *httptest.ResponseRecorder) {
+			if w.Code >= 500 {
+				t.Errorf("%s: status %d on arbitrary input: %s", kind, w.Code, w.Body)
+			}
+			assertNoLeak(t, w.Body.String())
+		}
+
+		// Form 1: the fuzzed bytes are the entire request body.
+		check("raw-body", doReq(t, s, "POST", "/v1/decode", string(body)))
+
+		// Form 2: the fuzzed bytes become per-node advice strings of a
+		// well-formed request, exercising bitstr parsing, advice-length
+		// checks and the decoder's corruption detection.
+		adv := make([]string, 0, 8)
+		for i := 0; i < len(adviceBytes) && i < 8; i++ {
+			adv = append(adv, string(adviceBytes[i:i+1]))
+		}
+		advJSON, err := json.Marshal(adv)
+		if err != nil {
+			return // unrepresentable bytes; form 1 already ran
+		}
+		req := fmt.Sprintf(`{"schema":"mis","graph":{"family":"cycle","n":6},"advice":%s}`, advJSON)
+		check("advice", doReq(t, s, "POST", "/v1/decode", req))
+	})
+}

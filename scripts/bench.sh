@@ -15,6 +15,12 @@
 # bytes, round-latency percentiles, allocator deltas) from the internal/obs
 # instrumentation layer, collected from an observed sequential run.
 #
+# A serving-layer section lands under the "serve" key: `locad serve` is
+# started on an ephemeral port and driven by `locad loadgen` through a cold
+# (cache-bypass) and a warm phase on the E2 cycle workload, recording req/s
+# and latency percentiles per phase, the warm/cold throughput ratio, and a
+# /v1/stats scrape (cache hit rates, per-endpoint latencies).
+#
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
@@ -43,7 +49,31 @@ trap 'rm -f "$raw" "$exp_json"' EXIT
 go run ./cmd/locad exp -summary "$exp_json" >/dev/null
 echo "observed experiment metrics collected"
 
-awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" '
+# Serving-layer benchmark: cold vs warm /v1/decode throughput on the E2
+# cycle workload (MIS on a 256-cycle, table-compiled decoder), via a real
+# server on an ephemeral port.
+workdir=$(mktemp -d)
+serve_json="$workdir/serve.json"
+serve_log="$workdir/serve.log"
+locad_bin="$workdir/locad"
+serve_pid=
+trap 'rm -f "$raw" "$exp_json"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$workdir"' EXIT
+go build -o "$locad_bin" ./cmd/locad
+"$locad_bin" serve -addr 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^locad serve: listening on //p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "locad serve did not start"; cat "$serve_log"; exit 1; }
+"$locad_bin" loadgen -addr "$addr" -schema mis -graph cycle -n 256 -duration 2s -json >"$serve_json"
+kill -TERM "$serve_pid" && wait "$serve_pid"
+serve_pid=
+echo "serving-layer cold/warm loadgen collected"
+
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -62,15 +92,21 @@ BEGIN { n = 0 }
     rec = rec "}"
     recs[n++] = rec
 }
+# embed splices a multi-line JSON file (first line "{", last line "}")
+# into the report as the value of key, followed by a comma.
+function embed(file, key,    m, emblines, i) {
+    m = 0
+    while ((getline line < file) > 0) emblines[m++] = line
+    if (m > 0) {
+        printf "  \"%s\": %s\n", key, emblines[0]
+        for (i = 1; i < m - 1; i++) printf "  %s\n", emblines[i]
+        printf "  %s,\n", emblines[m - 1]
+    }
+}
 END {
     printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"race_equivalence_seconds\": %s,\n", date, cpu, race_seconds
-    ne = 0
-    while ((getline line < expfile) > 0) explines[ne++] = line
-    if (ne > 0) {
-        printf "  \"experiments\": %s\n", explines[0]
-        for (i = 1; i < ne - 1; i++) printf "  %s\n", explines[i]
-        printf "  %s,\n", explines[ne - 1]
-    }
+    embed(expfile, "experiments")
+    embed(servefile, "serve")
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Serving-layer smoke test: start `locad serve` on an ephemeral port, drive
+# it with a short cold/warm loadgen phase, scrape /v1/stats, and verify that
+# SIGTERM drains to a clean (exit 0) shutdown. Everything goes through the
+# locad binary itself — no curl or other HTTP client is needed.
+#
+# Usage: scripts/serve_smoke.sh [phase-duration]
+set -eu
+
+duration=${1:-2s}
+
+workdir=$(mktemp -d)
+log="$workdir/serve.log"
+stats="$workdir/loadgen.json"
+bin="$workdir/locad"
+serve_pid=
+
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin" ./cmd/locad
+
+"$bin" serve -addr 127.0.0.1:0 >"$log" 2>&1 &
+serve_pid=$!
+
+# The server prints "locad serve: listening on <addr>" once bound.
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^locad serve: listening on //p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "serve died early:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never reported its address:"; cat "$log"; exit 1; }
+echo "serve-smoke: server at $addr"
+
+# Cold + warm load phases; -json embeds a /v1/stats scrape under "stats".
+"$bin" loadgen -addr "$addr" -n 256 -duration "$duration" -json >"$stats"
+
+grep -q '"warm_over_cold_rps"' "$stats" || { echo "loadgen report incomplete"; cat "$stats"; exit 1; }
+grep -q '"cache"' "$stats" || { echo "stats scrape missing from report"; cat "$stats"; exit 1; }
+echo "serve-smoke: loadgen + stats scrape ok"
+
+# Graceful shutdown: SIGTERM must drain to exit 0.
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=
+if [ "$rc" -ne 0 ]; then
+    echo "serve exited $rc on SIGTERM:"; cat "$log"; exit 1
+fi
+grep -q 'shutting down' "$log" || { echo "no shutdown log line:"; cat "$log"; exit 1; }
+echo "serve-smoke: graceful shutdown ok"

@@ -31,7 +31,7 @@ check:
 # (engines, schema substrate, instrumentation) must each stay at or above
 # 70% statement coverage.
 COVER_FLOOR := 70.0
-COVER_PKGS  := ./internal/local ./internal/core ./internal/obs ./internal/server ./internal/cache
+COVER_PKGS  := ./internal/local ./internal/core ./internal/obs ./internal/server ./internal/cache ./internal/persist
 
 cover:
 	$(GO) test -count=1 -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeVarArbitraryAdvice -fuzztime=30s ./internal/orient
 	$(GO) test -fuzz=FuzzDecodeArbitraryBits -fuzztime=30s ./internal/growth
 	$(GO) test -fuzz=FuzzHandleDecode -fuzztime=30s ./internal/server
+	$(GO) test -fuzz=FuzzTableBinary -fuzztime=30s ./internal/persist
 
 # Full benchmark sweep, recorded as BENCH_<date>.json for regression tracking.
 bench:

@@ -15,6 +15,18 @@ type benchReport struct {
 		Name    string  `json:"name"`
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"benchmarks"`
+	Serve struct {
+		Batch *struct {
+			ItemsPerSecond float64 `json:"items_per_second"`
+		} `json:"batch"`
+		Restart *struct {
+			FirstDecodeNanos     float64 `json:"first_decode_nanos"`
+			RecomputeNanos       float64 `json:"recompute_nanos"`
+			StoreLoadNanos       float64 `json:"store_load_nanos"`
+			EngineComputeNanos   float64 `json:"engine_compute_nanos"`
+			RecomputeOverRestart float64 `json:"recompute_over_restart"`
+		} `json:"restart"`
+	} `json:"serve"`
 }
 
 // newestBenchReport loads the lexicographically newest BENCH_*.json in the
@@ -94,6 +106,34 @@ func TestBenchRegression(t *testing.T) {
 		if ratio > slack {
 			t.Errorf("%s regressed: %.0f ns/op is %.0f%% over the %s baseline of %.0f ns/op (threshold +30%%)",
 				c.name, got, (ratio-1)*100, path, want)
+		}
+	}
+
+	// Serving-layer floors: the newest recorded bench run must show the
+	// persistent store recovering artifacts on restart at least 10x faster
+	// than the engine recomputes them (disk load_nanos vs
+	// engine_compute_nanos — the work persistence replaces; the
+	// whole-request latencies are recorded alongside but share graph build
+	// + table run + verification on both sides), and the binary batch path
+	// sustaining at least 100k warm decode items/s — the ISSUE 6 targets.
+	// A bench run recorded on a machine where either number slipped below
+	// its floor fails the gate.
+	if r := report.Serve.Restart; r == nil {
+		t.Logf("baseline %s has no \"serve\".restart record; re-run scripts/bench.sh to gate restart recovery", path)
+	} else {
+		t.Logf("restart recovery: artifact load %.0f ns vs engine recompute %.0f ns — %.1fx (requests: %.0f ns vs %.0f ns) (%s)",
+			r.StoreLoadNanos, r.EngineComputeNanos, r.RecomputeOverRestart,
+			r.FirstDecodeNanos, r.RecomputeNanos, path)
+		if r.RecomputeOverRestart < 10 {
+			t.Errorf("restart recovery speedup %.1fx is below the 10x floor (%s)", r.RecomputeOverRestart, path)
+		}
+	}
+	if b := report.Serve.Batch; b == nil {
+		t.Logf("baseline %s has no \"serve\".batch record; re-run scripts/bench.sh to gate batch throughput", path)
+	} else {
+		t.Logf("batch throughput: %.0f items/s (%s)", b.ItemsPerSecond, path)
+		if b.ItemsPerSecond < 100_000 {
+			t.Errorf("batch throughput %.0f items/s is below the 100k floor (%s)", b.ItemsPerSecond, path)
 		}
 	}
 }

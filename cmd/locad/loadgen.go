@@ -9,8 +9,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"localadvice/internal/server"
 )
 
 // cmdLoadgen drives a running `locad serve` instance with /v1/decode
@@ -30,12 +33,21 @@ func cmdLoadgen(args []string) error {
 	concurrency := fs.Int("concurrency", 8, "concurrent request loops")
 	duration := fs.Duration("duration", 2*time.Second, "wall-clock length of each phase")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON on stdout")
+	batch := fs.Bool("batch", false, "add a binary /v1/batch phase (warm) to the run")
+	batchSize := fs.Int("batch-size", 256, "decode requests per batch frame")
+	probe := fs.Bool("probe", false, "send ONE warm decode and report its server-side latency + labels (restart-recovery measurement), then exit")
+	probeCold := fs.Bool("probe-cold", false, "with -probe: also measure engine recompute cost and report the recompute/disk-recovery ratio")
+	probeIters := fs.Int("probe-iters", 16, "with -probe-cold: flush/reload and recompute cycles to average the ratio over")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 60 * time.Second}
+
+	if *probe {
+		return runProbe(client, base, *schema, *family, *n, *seed, *probeCold, *probeIters)
+	}
 
 	type decodeReq struct {
 		Schema string `json:"schema"`
@@ -77,6 +89,15 @@ func cmdLoadgen(args []string) error {
 		ratio = warm.RPS / cold.RPS
 	}
 
+	var batchRep *batchReport
+	if *batch {
+		rep, err := runBatchPhase(client, base, *schema, *family, *n, *seed, *batchSize, *concurrency, *duration)
+		if err != nil {
+			return err
+		}
+		batchRep = &rep
+	}
+
 	if *jsonOut {
 		report := map[string]any{
 			"addr":               *addr,
@@ -87,6 +108,9 @@ func cmdLoadgen(args []string) error {
 			"cold":               cold,
 			"warm":               warm,
 			"warm_over_cold_rps": ratio,
+		}
+		if batchRep != nil {
+			report["batch"] = batchRep
 		}
 		if stats, err := scrapeStats(client, base); err == nil {
 			report["stats"] = stats
@@ -108,7 +132,225 @@ func cmdLoadgen(args []string) error {
 			p.r.Requests-p.r.Errors, p.r.Errors)
 	}
 	fmt.Printf("  warm/cold throughput: %.1fx\n", ratio)
+	if batchRep != nil {
+		fmt.Printf("  batch %8.1f frames/s  %10.0f items/s  (size %d, %d errors)\n",
+			batchRep.RPS, batchRep.ItemsPerSecond, batchRep.BatchSize, batchRep.Errors)
+	}
 	return nil
+}
+
+// batchReport is the phaseReport of a binary /v1/batch phase plus the
+// per-item throughput (the ISSUE's >= 100k warm decode req/s target reads
+// off ItemsPerSecond).
+type batchReport struct {
+	phaseReport
+	BatchSize      int     `json:"batch_size"`
+	ItemsPerSecond float64 `json:"items_per_second"`
+}
+
+// runBatchPhase hammers /v1/batch with one pre-encoded binary frame of
+// batchSize server-advice decode requests.
+func runBatchPhase(client *http.Client, base, schema, family string, n int, seed int64, batchSize, concurrency int, d time.Duration) (batchReport, error) {
+	body, err := server.EncodeBatchRequest(schema,
+		server.GraphSpec{Family: family, N: n, Seed: seed},
+		true, make([]server.BatchItem, batchSize))
+	if err != nil {
+		return batchReport{}, err
+	}
+	// Priming request: fail fast and surface in-band item errors.
+	resp, err := client.Post(base+"/v1/batch", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return batchReport{}, fmt.Errorf("priming batch: %w", err)
+	}
+	frame, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return batchReport{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return batchReport{}, fmt.Errorf("priming batch: HTTP %d: %s", resp.StatusCode, frame)
+	}
+	results, err := server.DecodeBatchResponse(frame)
+	if err != nil {
+		return batchReport{}, fmt.Errorf("priming batch: %w", err)
+	}
+	for i, r := range results {
+		if r.Err != "" {
+			return batchReport{}, fmt.Errorf("priming batch: item %d: %s", i, r.Err)
+		}
+	}
+	phase, err := runPhase(client, base+"/v1/batch", body, concurrency, d)
+	if err != nil {
+		return batchReport{}, err
+	}
+	return batchReport{
+		phaseReport:    phase,
+		BatchSize:      batchSize,
+		ItemsPerSecond: phase.RPS * float64(batchSize),
+	}, nil
+}
+
+// runProbe measures ONE decode the way the restart benchmark needs it: the
+// server-side elapsed_nanos of the first warm request after a (re)start —
+// the store-load path when serve has a -store-dir — plus, with cold=true, a
+// cache-bypassing decode pricing the full recompute pipeline. Labels are
+// emitted comma-joined on one line so the smoke test can diff them across a
+// restart with grep.
+//
+// The recovery ratio isolates what persistence actually replaces: on a
+// freshly restarted server a warm decode's artifact acquisition is pure
+// disk load (the store's load_nanos), and a cache-bypassing decode's is
+// pure engine work (engine_compute_nanos — cache:false never touches the
+// store, so the two counters don't contaminate each other). A single
+// two-record load is dominated by fixed syscall noise, so the probe
+// averages: `iters` rounds of /v1/cache/flush + warm decode (each reloads
+// every artifact from disk — flush empties the LRU, not the store) and
+// `iters` cache-bypassing decodes, then reads the per-artifact mean of
+// each side off the server's cumulative counters.
+// recompute_over_restart is mean-engine-compute over mean-disk-load; the
+// whole-request latencies are reported alongside as context (they share
+// graph build + table run + verification, which persistence cannot
+// remove).
+func runProbe(client *http.Client, base, schema, family string, n int, seed int64, cold bool, iters int) error {
+	decodeOnce := func(cached bool) (int64, []int, error) {
+		body := fmt.Sprintf(`{"schema":%q,"graph":{"family":%q,"n":%d,"seed":%d},"cache":%v}`,
+			schema, family, n, seed, cached)
+		resp, err := client.Post(base+"/v1/decode", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, nil, fmt.Errorf("decode: HTTP %d: %s", resp.StatusCode, data)
+		}
+		var dr struct {
+			Labels      []int `json:"labels"`
+			ElapsedNano int64 `json:"elapsed_nanos"`
+		}
+		if err := json.Unmarshal(data, &dr); err != nil {
+			return 0, nil, err
+		}
+		return dr.ElapsedNano, dr.Labels, nil
+	}
+
+	firstNanos, labels, err := decodeOnce(true)
+	if err != nil {
+		return err
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprint(l)
+	}
+	report := map[string]any{
+		"schema":             schema,
+		"graph":              map[string]any{"family": family, "n": n, "seed": seed},
+		"first_decode_nanos": firstNanos,
+		"labels":             strings.Join(parts, ","),
+	}
+	type probeCounters struct {
+		EngineComputes uint64 `json:"engine_computes"`
+		EngineNanos    int64  `json:"engine_compute_nanos"`
+		Store          *struct {
+			Hits      uint64 `json:"hits"`
+			Misses    uint64 `json:"misses"`
+			LoadNanos int64  `json:"load_nanos"`
+		} `json:"store"`
+	}
+	scrape := func() (json.RawMessage, probeCounters, error) {
+		raw, err := scrapeStats(client, base)
+		var c probeCounters
+		if err == nil {
+			err = json.Unmarshal(raw, &c)
+		}
+		return raw, c, err
+	}
+
+	if cold {
+		if iters < 1 {
+			iters = 1
+		}
+		// Counter baseline: the first decode's loads hit a cold page cache
+		// and would skew the rounds; diffing per round against the previous
+		// snapshot isolates each round's own per-artifact cost. Both sides
+		// then take the best (minimum) round — the same best-of-N reading
+		// the bench-regression harness applies to re-timed benchmarks, so
+		// a contention spike in the container degrades neither side.
+		_, prev, err := scrape()
+		if err != nil {
+			return err
+		}
+		// per-artifact cost of this round's store loads or engine computes,
+		// folded into the running best.
+		bestLoad, bestEngine := 0.0, 0.0
+		fold := func(best *float64, nanos int64, count uint64) {
+			if nanos > 0 && count > 0 {
+				if per := float64(nanos) / float64(count); *best == 0 || per < *best {
+					*best = per
+				}
+			}
+		}
+		// Reload rounds: each flush empties the LRU (never the store), so
+		// the next warm decode pulls every artifact from disk again.
+		for i := 0; i < iters; i++ {
+			if _, err := postOnce(client, base+"/v1/cache/flush", []byte("{}")); err != nil {
+				return err
+			}
+			if _, _, err := decodeOnce(true); err != nil {
+				return err
+			}
+			_, cur, err := scrape()
+			if err != nil {
+				return err
+			}
+			if cur.Store != nil && prev.Store != nil {
+				fold(&bestLoad, cur.Store.LoadNanos-prev.Store.LoadNanos,
+					(cur.Store.Hits+cur.Store.Misses)-(prev.Store.Hits+prev.Store.Misses))
+			}
+			prev = cur
+		}
+		// Recompute rounds: cache:false prices the engine pipeline.
+		var recomputeNanos int64
+		for i := 0; i < iters; i++ {
+			ns, _, err := decodeOnce(false)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				recomputeNanos = ns
+			}
+			_, cur, err := scrape()
+			if err != nil {
+				return err
+			}
+			fold(&bestEngine, cur.EngineNanos-prev.EngineNanos,
+				cur.EngineComputes-prev.EngineComputes)
+			prev = cur
+		}
+		report["probe_iters"] = iters
+		report["recompute_nanos"] = recomputeNanos
+
+		raw, _, err := scrape()
+		if err != nil {
+			return err
+		}
+		report["stats"] = raw
+		ratio := 0.0
+		if bestLoad > 0 && bestEngine > 0 {
+			report["store_load_nanos"] = int64(bestLoad)
+			report["engine_compute_nanos"] = int64(bestEngine)
+			ratio = bestEngine / bestLoad
+		}
+		report["recompute_over_restart"] = ratio
+	} else if raw, _, err := scrape(); err == nil {
+		report["stats"] = raw
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // phaseReport summarizes one loadgen phase.

@@ -81,6 +81,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "store":
+		return cmdStore(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -116,10 +118,14 @@ subcommands:
   gen               write a generated graph in the edge-list text format
   load              parse and validate an edge-list file
   serve             run the HTTP/JSON serving layer (-addr -cache-mb
-                    -max-inflight -timeout); SIGTERM drains gracefully
+                    -max-inflight -timeout -store-dir); SIGTERM drains
+                    gracefully; -store-dir persists artifacts across restarts
   loadgen           drive a running serve with cold/warm /v1/decode traffic
                     and report req/s + p50/p95/p99 per phase (-json for the
-                    shape bench.sh embeds)
+                    shape bench.sh embeds); -batch adds a binary /v1/batch
+                    phase, -probe measures a single decode (restart recovery)
+  store {ls,gc,verify}  inspect, garbage-collect or integrity-check a
+                    persistent artifact store directory (-dir)
 
 common flags: -graph {cycle,path,grid,torus,regular,planted3,planted4} -n <size> -seed <s>
               -workers <w>  view-engine / experiment worker count (0 = GOMAXPROCS)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"localadvice/internal/persist"
+
 	"os"
 	"strings"
 	"testing"
@@ -133,5 +135,69 @@ func TestDotGenLoad(t *testing.T) {
 	}
 	if err := run([]string{"load"}); err == nil {
 		t.Error("load without -i accepted")
+	}
+}
+
+func TestStoreSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	st, err := persist.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("advice:test", persist.KindAdvice, []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("table:test", persist.KindTable, []byte("payload-t")); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, args := range [][]string{
+		{"store", "ls", "-dir", dir},
+		{"store", "verify", "-dir", dir},
+		{"store", "gc", "-dir", dir, "-max-mb", "64"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+
+	// gc to a zero budget evicts everything.
+	if err := run([]string{"store", "gc", "-dir", dir, "-max-mb", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := st.List(); err != nil || len(recs) != 0 {
+		t.Errorf("after gc -max-mb 0: %d records, err %v", len(recs), err)
+	}
+
+	// verify reports damage with a failing exit.
+	if err := st.Put("k", persist.KindAdvice, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("List: %v, %d records", err, len(recs))
+	}
+	path := dir + "/" + recs[0].File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "verify", "-dir", dir}); err == nil {
+		t.Error("verify of a corrupt store succeeded")
+	}
+
+	// Usage errors.
+	for _, args := range [][]string{
+		{"store"},
+		{"store", "frobnicate", "-dir", dir},
+		{"store", "ls"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

@@ -24,6 +24,7 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxBodyMB := fs.Int("max-body-mb", 8, "request body size bound in MiB")
 	maxNodes := fs.Int("max-nodes", 200_000, "largest accepted graph (nodes)")
+	storeDir := fs.String("store-dir", "", "persistent artifact store directory (empty = no persistence)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -35,13 +36,17 @@ func cmdServe(args []string) error {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		CacheBytes:     cacheBytes,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   int64(*maxBodyMB) << 20,
 		MaxNodes:       *maxNodes,
+		StoreDir:       *storeDir,
 	})
+	if err != nil {
+		return err
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"localadvice/internal/persist"
+)
+
+// cmdStore administers a persistent artifact store directory (the -store-dir
+// of `locad serve`) offline: list its records, verify their integrity, and
+// garbage-collect to a size budget. The server never needs these — corrupt
+// records self-heal on the serving path — but operators do.
+func cmdStore(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("store: missing verb (have ls, gc, verify)")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+verb, flag.ContinueOnError)
+	dir := fs.String("dir", "", "artifact store directory (required)")
+	maxMB := fs.Int64("max-mb", 64, "gc: size budget in MiB; oldest records beyond it are evicted")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("store %s: -dir is required", verb)
+	}
+	st, err := persist.Open(*dir, nil)
+	if err != nil {
+		return err
+	}
+	switch verb {
+	case "ls":
+		recs, err := st.List()
+		if err != nil {
+			return err
+		}
+		var total int64
+		for _, r := range recs {
+			if r.Err != nil {
+				fmt.Printf("%-20s CORRUPT  %v\n", r.File, r.Err)
+				continue
+			}
+			fmt.Printf("%-20.20s %-6s %8d B  %s  %s\n",
+				r.File, r.Kind, r.Size, r.ModTime.Format("2006-01-02 15:04:05"), r.Key)
+			total += r.Size
+		}
+		fmt.Printf("%d records, %d bytes\n", len(recs), total)
+		return nil
+	case "verify":
+		total, corrupt, err := st.Verify()
+		if err != nil {
+			return err
+		}
+		for _, r := range corrupt {
+			fmt.Fprintf(os.Stderr, "corrupt: %s: %v\n", r.File, r.Err)
+		}
+		fmt.Printf("verified %d records, %d corrupt\n", total, len(corrupt))
+		if len(corrupt) > 0 {
+			return fmt.Errorf("store verify: %d corrupt records", len(corrupt))
+		}
+		return nil
+	case "gc":
+		removed, freed, err := st.GC(*maxMB << 20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gc: removed %d records, freed %d bytes (budget %d MiB)\n", removed, freed, *maxMB)
+		return nil
+	default:
+		return fmt.Errorf("store: unknown verb %q (have ls, gc, verify)", verb)
+	}
+}

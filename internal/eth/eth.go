@@ -122,10 +122,36 @@ func Compile(algo local.BallAlgorithm, radius int, graphs []*graph.Graph, advice
 			if prev, ok := t.Entries[key]; ok && prev != out {
 				return nil, fmt.Errorf("eth: algorithm is not order-invariant: key %q maps to both %v and %v", key, prev, out)
 			}
+			// Outputs that can never survive the text Save format are
+			// rejected here, at compile time, instead of surprising the
+			// persistence layer at write time. (The binary codec is immune:
+			// every field there is length-prefixed.)
+			if err := checkTextSerializable(out); err != nil {
+				return nil, fmt.Errorf("eth: node %d of graph %d: %w", v, i, err)
+			}
 			t.Entries[key] = out
 		}
 	}
 	return t, nil
+}
+
+// checkTextSerializable rejects outputs whose natural text rendering would
+// corrupt the line-oriented Save format. Only string-shaped outputs can
+// smuggle separators; other types are validated against their caller codec
+// in Save itself.
+func checkTextSerializable(out any) error {
+	s, ok := out.(string)
+	if !ok {
+		if str, ok := out.(fmt.Stringer); ok {
+			s = str.String()
+		} else {
+			return nil
+		}
+	}
+	if strings.ContainsAny(s, " \n") {
+		return fmt.Errorf("eth: output %q contains separators the text format cannot carry (use the binary codec)", s)
+	}
+	return nil
 }
 
 // Run executes the compiled table as a ball algorithm.

@@ -1,0 +1,87 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/local"
+)
+
+// Binary advice codec: the payload format of KindAdvice records and of the
+// inline-advice form of the /v1/batch protocol. Unlike the textual "0101"
+// per-node strings of the JSON API, the format is length-prefixed and
+// bit-packed, so it has no separator characters at all:
+//
+//	u32  node count
+//	per node: u16 bit length, then ceil(len/8) bytes, MSB-first
+//
+// All integers little-endian. EncodeAdvice∘DecodeAdvice is the identity on
+// advice values, and DecodeAdvice never panics on arbitrary bytes.
+
+// EncodeAdvice packs a per-node advice assignment into the binary form.
+func EncodeAdvice(a local.Advice) []byte {
+	size := 4
+	for _, s := range a {
+		size += 2 + (s.Len()+7)/8
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a)))
+	for _, s := range a {
+		n := s.Len()
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+		var cur byte
+		for i := 0; i < n; i++ {
+			cur |= byte(s.Bit(i)) << uint(7-i%8)
+			if i%8 == 7 {
+				buf = append(buf, cur)
+				cur = 0
+			}
+		}
+		if n%8 != 0 {
+			buf = append(buf, cur)
+		}
+	}
+	return buf
+}
+
+// maxAdviceNodes bounds the declared node count so a corrupt header cannot
+// drive a huge allocation; it comfortably exceeds the server's graph bound.
+const maxAdviceNodes = 1 << 24
+
+// DecodeAdvice unpacks the binary advice form. Every structural defect
+// (truncation, trailing bytes, an oversized node count, a bit string longer
+// than its declared length allows) is an error, never a panic.
+func DecodeAdvice(b []byte) (local.Advice, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("persist: advice payload of %d bytes has no header", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxAdviceNodes {
+		return nil, fmt.Errorf("persist: advice declares %d nodes, bound is %d", n, maxAdviceNodes)
+	}
+	pos := 4
+	advice := make(local.Advice, n)
+	bits := make([]int, 0, 64)
+	for v := uint32(0); v < n; v++ {
+		if pos+2 > len(b) {
+			return nil, fmt.Errorf("persist: advice truncated at node %d", v)
+		}
+		bitLen := int(binary.LittleEndian.Uint16(b[pos:]))
+		pos += 2
+		byteLen := (bitLen + 7) / 8
+		if pos+byteLen > len(b) {
+			return nil, fmt.Errorf("persist: advice truncated in node %d's bits", v)
+		}
+		bits = bits[:0]
+		for i := 0; i < bitLen; i++ {
+			bits = append(bits, int(b[pos+i/8]>>uint(7-i%8)&1))
+		}
+		advice[v] = bitstr.New(bits...)
+		pos += byteLen
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("persist: %d trailing bytes after advice", len(b)-pos)
+	}
+	return advice, nil
+}

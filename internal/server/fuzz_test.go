@@ -35,7 +35,7 @@ func FuzzHandleDecode(f *testing.F) {
 
 	// One server for the whole fuzz process: cheap per-exec, and a shared
 	// cache stresses the generation/singleflight logic with hostile input.
-	s := New(Config{MaxNodes: 64, MaxBodyBytes: 1 << 16, CacheBytes: 1 << 20})
+	s := newTestServer(f, Config{MaxNodes: 64, MaxBodyBytes: 1 << 16, CacheBytes: 1 << 20})
 
 	f.Fuzz(func(t *testing.T, body []byte, adviceBytes []byte) {
 		check := func(kind string, w *httptest.ResponseRecorder) {

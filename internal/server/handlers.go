@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"localadvice/internal/lcl"
 	"localadvice/internal/local"
 	"localadvice/internal/obs"
+	"localadvice/internal/persist"
 )
 
 // GraphSpec names a graph in a request: either an inline edge-list text
@@ -44,18 +46,71 @@ type decodeArtifact struct {
 }
 
 // useCache reads a request's optional "cache" field (default true). The
-// cold benchmark path sets it to false to measure full recomputation.
-func useCache(p *bool) bool { return p == nil || *p }
+// cold benchmark path sets it to false to measure full recomputation:
+// cache:false bypasses every caching layer — the LRU *and* the persistent
+// store — so a cold request always prices the full engine pipeline.
+func (s *Server) useCache(p *bool) bool { return p == nil || *p }
 
 // doCached funnels one artifact through the cache, or computes it directly
-// on the cold path (counted as a bypass).
-func (s *Server) doCached(key string, cached bool, compute func() (any, int64, error)) (any, bool, error) {
+// on the cold path (counted as a bypass, labeled with the endpoint that
+// asked so /v1/stats can split verify/experiment traffic from benchmark
+// cold decodes).
+func (s *Server) doCached(key string, cached bool, src string, compute func() (any, int64, error)) (any, bool, error) {
 	if cached {
 		return s.cache.Do(key, compute)
 	}
-	s.bypasses.Add(1)
+	if c, ok := s.bypasses[src]; ok {
+		c.Add(1)
+	}
 	v, _, err := compute()
 	return v, false, err
+}
+
+// storeLoadAdvice consults the persistent store for an encoded advice
+// record. Corrupt or mis-shaped records are treated as misses (the caller
+// recomputes and Put self-heals the file).
+func (s *Server) storeLoadAdvice(key string, g *graph.Graph) (local.Advice, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	payload, kind, ok, err := s.store.Get(key)
+	if err != nil || !ok || kind != persist.KindAdvice {
+		return nil, false
+	}
+	advice, err := persist.DecodeAdvice(payload)
+	if err != nil || len(advice) != g.N() {
+		s.storeMetrics.ObserveError()
+		return nil, false
+	}
+	return advice, true
+}
+
+// storeLoadTable consults the store for a compiled table, decoding outputs
+// with the schema's binary codec.
+func (s *Server) storeLoadTable(key string, sc *schemaEntry) (*eth.Table, bool) {
+	if s.store == nil || sc.TableDecode == nil {
+		return nil, false
+	}
+	payload, kind, ok, err := s.store.Get(key)
+	if err != nil || !ok || kind != persist.KindTable {
+		return nil, false
+	}
+	table, err := eth.LoadTableBinary(bytes.NewReader(payload), sc.TableDecode)
+	if err != nil {
+		s.storeMetrics.ObserveError()
+		return nil, false
+	}
+	return table, true
+}
+
+// storePut writes one artifact through to disk. Failures are recorded in
+// the store metrics but never fail the request: persistence is an
+// optimization, not a dependency.
+func (s *Server) storePut(key string, kind persist.Kind, payload []byte) {
+	if s.store == nil {
+		return
+	}
+	_ = s.store.Put(key, kind, payload) // Put counts its own errors
 }
 
 // resolveSchema looks a schema up in the registry (404 on miss).
@@ -69,7 +124,9 @@ func (s *Server) resolveSchema(name string) (*schemaEntry, error) {
 }
 
 // resolveGraph validates a spec and produces the (possibly cached) graph.
-func (s *Server) resolveGraph(spec GraphSpec, cached bool) (*cachedGraph, bool, error) {
+// Graphs are cheap to rebuild relative to their on-disk size, so they are
+// memoized in the LRU but never persisted.
+func (s *Server) resolveGraph(spec GraphSpec, cached bool, src string) (*cachedGraph, bool, error) {
 	var key string
 	var build func() (*graph.Graph, error)
 	switch {
@@ -103,7 +160,7 @@ func (s *Server) resolveGraph(spec GraphSpec, cached bool) (*cachedGraph, bool, 
 		return nil, false, errf(http.StatusBadRequest, "bad_graph_spec",
 			"graph spec needs either text or family")
 	}
-	v, hit, err := s.doCached(key, cached, func() (any, int64, error) {
+	v, hit, err := s.doCached(key, cached, src, func() (any, int64, error) {
 		g, err := build()
 		if err != nil {
 			return nil, 0, err
@@ -164,14 +221,29 @@ func parseAdvice(g *graph.Graph, strs []string) (local.Advice, error) {
 	return advice, nil
 }
 
-// encodeAdvice produces (or recalls) the prover's advice for (graph, schema).
-func (s *Server) encodeAdvice(sc *schemaEntry, cg *cachedGraph, cached bool) (local.Advice, bool, error) {
+// encodeAdvice produces (or recalls) the prover's advice for (graph,
+// schema). The LRU's singleflight compute closure consults the persistent
+// store before falling back to the engine, so disk-load and compute share
+// one singleflight call: a startup stampede of N identical requests loads
+// or computes each advice assignment at most once.
+func (s *Server) encodeAdvice(sc *schemaEntry, cg *cachedGraph, cached bool, src string) (local.Advice, bool, error) {
 	key := "advice:" + cg.digest + ":" + sc.Name + "@" + sc.Params
-	v, hit, err := s.doCached(key, cached, func() (any, int64, error) {
+	v, hit, err := s.doCached(key, cached, src, func() (any, int64, error) {
+		if cached {
+			if advice, ok := s.storeLoadAdvice(key, cg.g); ok {
+				return advice, adviceSize(advice), nil
+			}
+		}
+		s.engineComputes.Add(1)
+		encStart := time.Now()
 		advice, err := sc.Encode(cg.g)
+		s.engineComputeNanos.Add(time.Since(encStart).Nanoseconds())
 		if err != nil {
 			return nil, 0, errf(http.StatusUnprocessableEntity, "unencodable",
 				"%s encode on this graph: %v", sc.Name, err)
+		}
+		if cached {
+			s.storePut(key, persist.KindAdvice, persist.EncodeAdvice(advice))
 		}
 		return advice, adviceSize(advice), nil
 	})
@@ -185,10 +257,10 @@ func (s *Server) encodeAdvice(sc *schemaEntry, cg *cachedGraph, cached bool) (lo
 // graph. Table-compiled schemas go through a cached eth.Table; either way
 // the decoded output is verified against the schema's problem before it is
 // cached or returned, so a cached solution is always a valid one.
-func (s *Server) decodeSolution(sc *schemaEntry, cg *cachedGraph, advice local.Advice, advDigest string, cached bool) (*decodeArtifact, bool, error) {
+func (s *Server) decodeSolution(sc *schemaEntry, cg *cachedGraph, advice local.Advice, advDigest string, cached bool, src string) (*decodeArtifact, bool, error) {
 	key := "decode:" + cg.digest + ":" + sc.Name + "@" + sc.Params + ":" + advDigest
-	v, hit, err := s.doCached(key, cached, func() (any, int64, error) {
-		art, err := s.decodeCold(sc, cg, advice, advDigest, cached)
+	v, hit, err := s.doCached(key, cached, src, func() (any, int64, error) {
+		art, err := s.decodeCold(sc, cg, advice, advDigest, cached, src)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -200,7 +272,7 @@ func (s *Server) decodeSolution(sc *schemaEntry, cg *cachedGraph, advice local.A
 	return v.(*decodeArtifact), hit, nil
 }
 
-func (s *Server) decodeCold(sc *schemaEntry, cg *cachedGraph, advice local.Advice, advDigest string, cached bool) (*decodeArtifact, error) {
+func (s *Server) decodeCold(sc *schemaEntry, cg *cachedGraph, advice local.Advice, advDigest string, cached bool, src string) (*decodeArtifact, error) {
 	if sc.ValidateAdvice != nil {
 		if err := sc.ValidateAdvice(cg.g, advice); err != nil {
 			return nil, err
@@ -211,11 +283,25 @@ func (s *Server) decodeCold(sc *schemaEntry, cg *cachedGraph, advice local.Advic
 	var stats local.Stats
 	if sc.Compile != nil {
 		tableKey := "table:" + cg.digest + ":" + sc.Name + "@" + sc.Params + ":" + advDigest
-		tv, _, err := s.doCached(tableKey, cached, func() (any, int64, error) {
+		tv, _, err := s.doCached(tableKey, cached, src, func() (any, int64, error) {
+			if cached {
+				if table, ok := s.storeLoadTable(tableKey, sc); ok {
+					return table, tableSize(table), nil
+				}
+			}
+			s.engineComputes.Add(1)
+			compileStart := time.Now()
 			table, err := sc.Compile(cg.g, advice)
+			s.engineComputeNanos.Add(time.Since(compileStart).Nanoseconds())
 			if err != nil {
 				return nil, 0, errf(http.StatusUnprocessableEntity, "uncompilable",
 					"%s decoder compilation: %v", sc.Name, err)
+			}
+			if cached && sc.TableEncode != nil {
+				var buf bytes.Buffer
+				if err := table.SaveBinary(&buf, sc.TableEncode); err == nil {
+					s.storePut(tableKey, persist.KindTable, buf.Bytes())
+				}
 			}
 			return table, tableSize(table), nil
 		})
@@ -292,12 +378,12 @@ func (s *Server) handleEncode(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	cached := useCache(req.Cache)
-	cg, _, err := s.resolveGraph(req.Graph, cached)
+	cached := s.useCache(req.Cache)
+	cg, _, err := s.resolveGraph(req.Graph, cached, "encode")
 	if err != nil {
 		return nil, err
 	}
-	advice, hit, err := s.encodeAdvice(sc, cg, cached)
+	advice, hit, err := s.encodeAdvice(sc, cg, cached, "encode")
 	if err != nil {
 		return nil, err
 	}
@@ -350,8 +436,8 @@ func (s *Server) handleDecode(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	cached := useCache(req.Cache)
-	cg, _, err := s.resolveGraph(req.Graph, cached)
+	cached := s.useCache(req.Cache)
+	cg, _, err := s.resolveGraph(req.Graph, cached, "decode")
 	if err != nil {
 		return nil, err
 	}
@@ -362,13 +448,13 @@ func (s *Server) handleDecode(ctx context.Context, r *http.Request) (any, error)
 			return nil, err
 		}
 	} else {
-		advice, _, err = s.encodeAdvice(sc, cg, cached)
+		advice, _, err = s.encodeAdvice(sc, cg, cached, "decode")
 		if err != nil {
 			return nil, err
 		}
 	}
 	advDigest := sha256hex(adviceStrings(advice)...)
-	art, hit, err := s.decodeSolution(sc, cg, advice, advDigest, cached)
+	art, hit, err := s.decodeSolution(sc, cg, advice, advDigest, cached, "decode")
 	if err != nil {
 		return nil, err
 	}
@@ -421,7 +507,7 @@ func (s *Server) handleVerify(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	cg, _, err := s.resolveGraph(req.Graph, useCache(req.Cache))
+	cg, _, err := s.resolveGraph(req.Graph, s.useCache(req.Cache), "verify")
 	if err != nil {
 		return nil, err
 	}
@@ -503,9 +589,9 @@ func (s *Server) handleExperiment(ctx context.Context, r *http.Request) (any, er
 		}, nil
 	}
 	// Observed runs carry machine-specific metrics and are never cached.
-	if req.Observe || !useCache(req.Cache) {
+	if req.Observe || !s.useCache(req.Cache) {
 		if !req.Observe {
-			s.bypasses.Add(1)
+			s.bypasses["experiment"].Add(1)
 		}
 		return run()
 	}
@@ -560,8 +646,14 @@ type StatsResponse struct {
 	MaxInflight  int                             `json:"max_inflight"`
 	Shed         uint64                          `json:"shed"`
 	Bypasses     uint64                          `json:"cache_bypasses"`
+	BypassesBy   map[string]uint64               `json:"cache_bypasses_by_endpoint"`
 	Cache        cache.Stats                     `json:"cache"`
 	CacheHitRate float64                         `json:"cache_hit_rate"`
+	StoreDir     string                          `json:"store_dir,omitempty"`
+	Store        *obs.StoreSnapshot              `json:"store,omitempty"`
+	Engine       uint64                          `json:"engine_computes"`
+	EngineNanos  int64                           `json:"engine_compute_nanos"`
+	BatchItems   uint64                          `json:"batch_items"`
 	Endpoints    map[string]obs.EndpointSnapshot `json:"endpoints"`
 	Schemas      []string                        `json:"schemas"`
 }
@@ -572,15 +664,32 @@ func (s *Server) handleStats() any {
 	for name, m := range s.metrics {
 		eps[name] = m.Snapshot()
 	}
-	return &StatsResponse{
+	byEndpoint := make(map[string]uint64, len(s.bypasses))
+	var total uint64
+	for name, c := range s.bypasses {
+		n := c.Load()
+		byEndpoint[name] = n
+		total += n
+	}
+	resp := &StatsResponse{
 		UptimeNanos:  time.Since(s.start).Nanoseconds(),
 		Inflight:     s.inflight.Load(),
 		MaxInflight:  s.cfg.MaxInflight,
 		Shed:         s.shed.Load(),
-		Bypasses:     s.bypasses.Load(),
+		Bypasses:     total,
+		BypassesBy:   byEndpoint,
 		Cache:        cs,
 		CacheHitRate: cs.HitRate(),
+		StoreDir:     s.cfg.StoreDir,
+		Engine:       s.engineComputes.Load(),
+		EngineNanos:  s.engineComputeNanos.Load(),
+		BatchItems:   s.batchItems.Load(),
 		Endpoints:    eps,
 		Schemas:      schemaNames(s.schemas),
 	}
+	if s.storeMetrics != nil {
+		snap := s.storeMetrics.Snapshot()
+		resp.Store = &snap
+	}
+	return resp
 }

@@ -18,7 +18,7 @@ import (
 // collapsed them: exactly one compute per artifact (graph, advice, compiled
 // table, decode result) no matter how many callers raced.
 func TestRaceSingleflightComputesOnce(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	const body = `{"schema":"mis","graph":{"family":"cycle","n":48}}`
 	const goroutines = 24
 
@@ -65,7 +65,7 @@ func TestRaceSingleflightComputesOnce(t *testing.T) {
 // whose cold answer is known, and asserts every response is bit-identical
 // to the cold one modulo the Cached flag and timing.
 func TestRaceWarmMatchesCold(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	const warmBody = `{"schema":"mis","graph":{"family":"cycle","n":40}}`
 	const coldBody = `{"schema":"mis","graph":{"family":"cycle","n":40},"cache":false}`
 
@@ -118,7 +118,7 @@ func TestRaceWarmMatchesCold(t *testing.T) {
 // encodes, verifies, stats scrapes and cache flushes racing each other — as
 // a pure data-race probe for the cache generation logic and metrics.
 func TestRaceMixedEndpoints(t *testing.T) {
-	s := New(Config{MaxInflight: 64})
+	s := newTestServer(t, Config{MaxInflight: 64})
 	bodies := [][2]string{
 		{"/v1/decode", `{"schema":"mis","graph":{"family":"cycle","n":24}}`},
 		{"/v1/encode", `{"schema":"mis","graph":{"family":"cycle","n":24}}`},
@@ -147,7 +147,7 @@ func TestRaceMixedEndpoints(t *testing.T) {
 // admitted request to finish (no connection resets, each answered 200), and
 // Serve must return cleanly.
 func TestRaceDrainMidFlight(t *testing.T) {
-	s := New(Config{MaxInflight: 32})
+	s := newTestServer(t, Config{MaxInflight: 32})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -226,7 +226,7 @@ func TestRaceDrainMidFlight(t *testing.T) {
 // single pool slot occupied, every request is shed (not queued, not
 // crashed) and counted in /v1/stats; once the slot frees, service resumes.
 func TestRaceLoadShedding(t *testing.T) {
-	s := New(Config{MaxInflight: 1})
+	s := newTestServer(t, Config{MaxInflight: 1})
 	const body = `{"schema":"mis","graph":{"family":"cycle","n":12}}`
 
 	s.sem <- struct{}{} // occupy the only slot, as an admitted request would

@@ -37,6 +37,12 @@ type schemaEntry struct {
 	// ValidateAdvice rejects advice whose shape the decoder cannot process
 	// (reported as corrupt, HTTP 422). May be nil.
 	ValidateAdvice func(g *graph.Graph, advice local.Advice) error
+	// TableEncode/TableDecode are the binary output codecs used when a
+	// compiled table is persisted to the artifact store (nil = the schema's
+	// tables are never written to disk). They must be a bit-identical pair:
+	// TableDecode(TableEncode(v)) == v, byte for byte on re-encode.
+	TableEncode func(v any) ([]byte, error)
+	TableDecode func(b []byte) (any, error)
 }
 
 // buildSchemas assembles the registry served under /v1/*: the four harness
@@ -59,6 +65,7 @@ func buildSchemas() map[string]*schemaEntry {
 			Decode:  fs.Decode,
 		}
 	}
+	tableEnc, tableDec := eth.IntBinaryCodec()
 	out["mis"] = &schemaEntry{
 		Name:           "mis",
 		Params:         "radius=0",
@@ -66,6 +73,8 @@ func buildSchemas() map[string]*schemaEntry {
 		Encode:         misEncode,
 		Compile:        misCompile,
 		ValidateAdvice: misValidate,
+		TableEncode:    tableEnc,
+		TableDecode:    tableDec,
 	}
 	return out
 }

@@ -44,6 +44,7 @@ import (
 	"localadvice/internal/graph"
 	"localadvice/internal/local"
 	"localadvice/internal/obs"
+	"localadvice/internal/persist"
 )
 
 // Config parameterizes a Server. The zero value means "use defaults".
@@ -61,6 +62,12 @@ type Config struct {
 	// MaxNodes bounds accepted graph sizes, parsed or generated
 	// (default 200k nodes).
 	MaxNodes int
+	// StoreDir, when non-empty, backs the LRU with a persistent artifact
+	// store (internal/persist) in that directory: encoded advice and
+	// compiled eth.Tables are written through to disk and reloaded on cache
+	// misses, so evictions and process restarts warm-start instead of
+	// re-running the engine (DESIGN.md §8).
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +97,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *cache.Cache
+	store   *persist.Store // nil without Config.StoreDir
 	schemas map[string]*schemaEntry
 	mux     *http.ServeMux
 	sem     chan struct{}
@@ -97,7 +105,23 @@ type Server struct {
 
 	inflight atomic.Int64
 	shed     atomic.Uint64
-	bypasses atomic.Uint64
+	// bypasses counts cache-bypassing computations, split by the endpoint
+	// that asked for them (cold loadgen traffic is "decode"; verify and
+	// experiment traffic is labeled distinctly so /v1/stats explains the
+	// total instead of lumping it).
+	bypasses map[string]*atomic.Uint64
+	// engineComputes counts artifacts produced by actually running the
+	// engine (advice encodes, table compilations) as opposed to loading
+	// them from the store: the restart smoke asserts it stays 0 after a
+	// warm-started process serves its first request.
+	engineComputes atomic.Uint64
+	// engineComputeNanos is the wall time spent inside those engine runs;
+	// against the store's load_nanos it prices cold-start recovery (disk
+	// load) vs recompute — the `loadgen -probe-cold` recovery ratio.
+	engineComputeNanos atomic.Int64
+	batchItems         atomic.Uint64
+
+	storeMetrics *obs.StoreMetrics
 
 	// expMu serializes observed experiment runs: observation goes through
 	// the process-wide obs default collector, which must not be shared.
@@ -109,29 +133,41 @@ type Server struct {
 	httpSrv *http.Server
 }
 
-// New returns a ready Server.
-func New(cfg Config) *Server {
+// New returns a ready Server. The only failure mode is an unusable
+// Config.StoreDir.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache.New(cfg.CacheBytes),
-		schemas: buildSchemas(),
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		start:   time.Now(),
-		metrics: make(map[string]*obs.EndpointMetrics),
+		cfg:      cfg,
+		cache:    cache.New(cfg.CacheBytes),
+		schemas:  buildSchemas(),
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		start:    time.Now(),
+		metrics:  make(map[string]*obs.EndpointMetrics),
+		bypasses: make(map[string]*atomic.Uint64),
 	}
-	for _, name := range []string{"encode", "decode", "verify", "experiment", "flush", "healthz", "stats"} {
+	if cfg.StoreDir != "" {
+		s.storeMetrics = &obs.StoreMetrics{}
+		store, err := persist.Open(cfg.StoreDir, s.storeMetrics)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	for _, name := range []string{"encode", "decode", "batch", "verify", "experiment", "flush", "healthz", "stats"} {
 		s.metrics[name] = &obs.EndpointMetrics{}
+		s.bypasses[name] = &atomic.Uint64{}
 	}
 	s.mux.HandleFunc("POST /v1/encode", s.endpoint("encode", s.handleEncode))
 	s.mux.HandleFunc("POST /v1/decode", s.endpoint("decode", s.handleDecode))
+	s.mux.HandleFunc("POST /v1/batch", s.batchEndpoint())
 	s.mux.HandleFunc("POST /v1/verify", s.endpoint("verify", s.handleVerify))
 	s.mux.HandleFunc("POST /v1/experiment", s.endpoint("experiment", s.handleExperiment))
 	s.mux.HandleFunc("POST /v1/cache/flush", s.endpoint("flush", s.handleFlush))
 	s.mux.HandleFunc("GET /v1/healthz", s.direct("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/stats", s.direct("stats", s.handleStats))
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.

@@ -9,6 +9,17 @@ import (
 	"time"
 )
 
+// newTestServer constructs a Server, failing the test on a bad Config (the
+// only New error is an unusable StoreDir).
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return s
+}
+
 // doReq drives the server's handler directly (no network) and returns the
 // recorded response.
 func doReq(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
@@ -52,7 +63,7 @@ func errCode(t *testing.T, body string) string {
 // code of each cell. Every non-2xx body must carry the typed error shape
 // and no response may leak stack traces.
 func TestEndpointMatrix(t *testing.T) {
-	s := New(Config{MaxNodes: 64, MaxBodyBytes: 4096})
+	s := newTestServer(t, Config{MaxNodes: 64, MaxBodyBytes: 4096})
 
 	const cycleGraph = `{"family":"cycle","n":12}`
 	validLabels := `[1,2,1,2,1,2,1,2,1,2,1,2]`
@@ -140,13 +151,33 @@ func TestEndpointMatrix(t *testing.T) {
 			}
 		})
 	}
+
+	// After the whole matrix ran, /v1/stats must explain its bypass total as
+	// a per-endpoint split covering every pooled endpoint (the split itself
+	// is pinned by TestStatsBypassSplit).
+	var st StatsResponse
+	w := doReq(t, s, "GET", "/v1/stats", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var sum uint64
+	for _, ep := range []string{"encode", "decode", "batch", "verify", "experiment"} {
+		n, ok := st.BypassesBy[ep]
+		if !ok {
+			t.Errorf("stats cache_bypasses_by_endpoint missing %q", ep)
+		}
+		sum += n
+	}
+	if st.Bypasses != sum {
+		t.Errorf("cache_bypasses = %d, want the by-endpoint sum %d", st.Bypasses, sum)
+	}
 }
 
 // TestDecodeRoundTrip pins the serving pipeline end to end: encoded advice
 // fed back through /v1/decode yields the same verified solution as the
 // adviceless decode, and the solution really is an MIS labeling.
 func TestDecodeRoundTrip(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	const body = `{"schema":"mis","graph":{"family":"cycle","n":16}}`
 
 	w := doReq(t, s, "POST", "/v1/encode", body)
@@ -208,7 +239,7 @@ func TestDecodeRoundTrip(t *testing.T) {
 // TestVerifyRejectsBadLabeling pins that an invalid labeling is a 200 with
 // Valid=false and a violation message, not an HTTP error.
 func TestVerifyRejectsBadLabeling(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	w := doReq(t, s, "POST", "/v1/verify",
 		`{"schema":"mis","graph":{"family":"cycle","n":6},"labels":[1,1,1,1,1,1]}`)
 	if w.Code != 200 {
@@ -231,7 +262,7 @@ func TestVerifyRejectsBadLabeling(t *testing.T) {
 // warm response differs from the cold one only in the Cached flag and
 // timing.
 func TestCachedDecodeIsBitIdentical(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	const body = `{"schema":"mis","graph":{"family":"cycle","n":24}}`
 	const coldBody = `{"schema":"mis","graph":{"family":"cycle","n":24},"cache":false}`
 
@@ -275,7 +306,7 @@ func TestCachedDecodeIsBitIdentical(t *testing.T) {
 // TestRequestTimeout pins the deadline path: a server with an immediate
 // deadline answers 504, not a hang or a 500.
 func TestRequestTimeout(t *testing.T) {
-	s := New(Config{RequestTimeout: time.Nanosecond})
+	s := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
 	w := doReq(t, s, "POST", "/v1/decode", `{"schema":"mis","graph":{"family":"cycle","n":32}}`)
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504 (body: %s)", w.Code, w.Body)
@@ -287,7 +318,7 @@ func TestRequestTimeout(t *testing.T) {
 
 // TestStatsShape pins the /v1/stats fields bench.sh and loadgen scrape.
 func TestStatsShape(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	doReq(t, s, "POST", "/v1/decode", `{"schema":"mis","graph":{"family":"cycle","n":8}}`)
 	doReq(t, s, "POST", "/v1/decode", `{"schema":"mis","graph":{"family":"cycle","n":8}}`)
 
@@ -326,7 +357,7 @@ func TestStatsShape(t *testing.T) {
 // TestFlushResetsCache pins that /v1/cache/flush empties the cache and the
 // next identical request recomputes.
 func TestFlushResetsCache(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	const body = `{"schema":"mis","graph":{"family":"cycle","n":8}}`
 	doReq(t, s, "POST", "/v1/decode", body)
 	if s.Cache().Stats().Entries == 0 {
@@ -359,7 +390,7 @@ func TestFlushResetsCache(t *testing.T) {
 // TestExperimentEndpoint pins the /v1/experiment surface: structured table,
 // caching, and the never-cache-observed-runs rule.
 func TestExperimentEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	w := doReq(t, s, "POST", "/v1/experiment", `{"id":"e2"}`)
 	if w.Code != 200 {
 		t.Fatalf("experiment: %d %s", w.Code, w.Body)
@@ -403,7 +434,7 @@ func TestExperimentEndpoint(t *testing.T) {
 // TestDisabledCache pins that a cache-disabled server still serves
 // correctly (singleflight only, nothing retained).
 func TestDisabledCache(t *testing.T) {
-	s := New(Config{CacheBytes: -1})
+	s := newTestServer(t, Config{CacheBytes: -1})
 	const body = `{"schema":"mis","graph":{"family":"cycle","n":8}}`
 	for i := 0; i < 2; i++ {
 		w := doReq(t, s, "POST", "/v1/decode", body)

@@ -16,10 +16,16 @@
 # instrumentation layer, collected from an observed sequential run.
 #
 # A serving-layer section lands under the "serve" key: `locad serve` is
-# started on an ephemeral port and driven by `locad loadgen` through a cold
-# (cache-bypass) and a warm phase on the E2 cycle workload, recording req/s
-# and latency percentiles per phase, the warm/cold throughput ratio, and a
-# /v1/stats scrape (cache hit rates, per-endpoint latencies).
+# started on an ephemeral port with a persistent artifact store and driven
+# by `locad loadgen` through a cold (cache-bypass) phase, a warm phase, and
+# a binary /v1/batch phase on the E2 cycle workload, recording req/s and
+# latency percentiles per phase, the warm/cold throughput ratio, per-item
+# batch throughput, and a /v1/stats scrape (cache hit rates, per-endpoint
+# latencies, store counters). The server is then SIGTERMed and restarted on
+# the same store; "serve".restart records the first post-restart decode and
+# a cache-bypassing recompute — both the whole-request latencies and the
+# artifact-level split (store load_nanos vs engine_compute_nanos), whose
+# ratio is the cold-start-recovery speedup of the persistent store.
 #
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
@@ -49,29 +55,58 @@ trap 'rm -f "$raw" "$exp_json"' EXIT
 go run ./cmd/locad exp -summary "$exp_json" >/dev/null
 echo "observed experiment metrics collected"
 
-# Serving-layer benchmark: cold vs warm /v1/decode throughput on the E2
-# cycle workload (MIS on a 256-cycle, table-compiled decoder), via a real
-# server on an ephemeral port.
+# Serving-layer benchmark: cold vs warm /v1/decode throughput plus binary
+# /v1/batch throughput on the E2 cycle workload (MIS on a 256-cycle,
+# table-compiled decoder), via a real server on an ephemeral port backed by
+# a persistent artifact store.
 workdir=$(mktemp -d)
 serve_json="$workdir/serve.json"
+restart_json="$workdir/restart.json"
 serve_log="$workdir/serve.log"
+store_dir="$workdir/store"
 locad_bin="$workdir/locad"
 serve_pid=
 trap 'rm -f "$raw" "$exp_json"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$workdir"' EXIT
 go build -o "$locad_bin" ./cmd/locad
-"$locad_bin" serve -addr 127.0.0.1:0 >"$serve_log" 2>&1 &
-serve_pid=$!
-addr=
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^locad serve: listening on //p' "$serve_log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "locad serve did not start"; cat "$serve_log"; exit 1; }
-"$locad_bin" loadgen -addr "$addr" -schema mis -graph cycle -n 256 -duration 2s -json >"$serve_json"
+
+# start_serve <logfile>: serve on an ephemeral port over the shared store.
+start_serve() {
+    "$locad_bin" serve -addr 127.0.0.1:0 -store-dir "$store_dir" >"$1" 2>&1 &
+    serve_pid=$!
+    addr=
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^locad serve: listening on //p' "$1")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "locad serve did not start"; cat "$1"; exit 1; }
+}
+
+start_serve "$serve_log"
+"$locad_bin" loadgen -addr "$addr" -schema mis -graph cycle -n 256 -duration 2s -batch -json >"$serve_json"
 kill -TERM "$serve_pid" && wait "$serve_pid"
 serve_pid=
-echo "serving-layer cold/warm loadgen collected"
+echo "serving-layer cold/warm/batch loadgen collected"
+
+# Restart recovery: relaunch on the now-warm store and price the first
+# decode (disk load) against a full cache-bypassing recompute.
+serve_log2="$workdir/serve2.log"
+start_serve "$serve_log2"
+"$locad_bin" loadgen -addr "$addr" -schema mis -graph cycle -n 256 -probe -probe-cold >"$restart_json"
+kill -TERM "$serve_pid" && wait "$serve_pid"
+serve_pid=
+echo "serving-layer restart-recovery probe collected"
+
+# Splice the restart probe into the serve report as its "restart" key,
+# preserving the first-line-"{" / last-line-"}" shape embed() expects.
+merged="$workdir/serve_merged.json"
+{
+    sed '$ d' "$serve_json"
+    printf '  ,"restart":\n'
+    cat "$restart_json"
+    printf '}\n'
+} > "$merged"
+serve_json="$merged"
 
 awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" '
 BEGIN { n = 0 }

@@ -22,7 +22,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize' ./internal/local ./internal/fault
-	$(GO) test -race -count=1 -run 'Race|Singleflight|Property|Flush|Cached' ./internal/server ./internal/cache
+	$(GO) test -race -count=1 -run 'Race|Singleflight|Property|Flush|Cached' ./internal/server ./internal/cache ./internal/cluster
 	$(MAKE) serve-smoke
 	LOCAD_BENCH_REGRESSION=1 $(GO) test -count=1 -run TestBenchRegression .
 	$(MAKE) cover
@@ -31,7 +31,7 @@ check:
 # (engines, schema substrate, instrumentation) must each stay at or above
 # 70% statement coverage.
 COVER_FLOOR := 70.0
-COVER_PKGS  := ./internal/local ./internal/core ./internal/obs ./internal/server ./internal/cache ./internal/persist
+COVER_PKGS  := ./internal/local ./internal/core ./internal/obs ./internal/server ./internal/cache ./internal/persist ./internal/cluster
 
 cover:
 	$(GO) test -count=1 -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\

@@ -27,6 +27,28 @@ type benchReport struct {
 			RecomputeOverRestart float64 `json:"recompute_over_restart"`
 		} `json:"restart"`
 	} `json:"serve"`
+	Cluster *struct {
+		CPUs          int     `json:"cpus"`
+		ColdScaling4x float64 `json:"cold_scaling_4x"`
+		Points        []struct {
+			Shards int `json:"shards"`
+			Cold   struct {
+				RPS    float64 `json:"rps"`
+				Errors int     `json:"errors"`
+			} `json:"cold"`
+			Warm struct {
+				RPS    float64 `json:"rps"`
+				Errors int     `json:"errors"`
+			} `json:"warm"`
+			RouterStats struct {
+				Cluster struct {
+					Forwards     float64 `json:"forwards"`
+					ReplicaHits  float64 `json:"replica_hits"`
+					Replications float64 `json:"replications"`
+				} `json:"cluster"`
+			} `json:"router_stats"`
+		} `json:"points"`
+	} `json:"cluster"`
 }
 
 // newestBenchReport loads the lexicographically newest BENCH_*.json in the
@@ -134,6 +156,54 @@ func TestBenchRegression(t *testing.T) {
 		t.Logf("batch throughput: %.0f items/s (%s)", b.ItemsPerSecond, path)
 		if b.ItemsPerSecond < 100_000 {
 			t.Errorf("batch throughput %.0f items/s is below the 100k floor (%s)", b.ItemsPerSecond, path)
+		}
+	}
+
+	// Cluster-tier floors. Aggregate cold scaling is a CPU-parallelism
+	// effect, so the gate is hardware-aware (DESIGN.md decision 9): the
+	// ≥3x 4-shard cold-throughput floor binds only when the recording host
+	// had at least 4 CPUs. On smaller hosts the gate falls back to
+	// structural checks the hardware cannot excuse: every sweep point ran
+	// error-free, adding shards never collapsed routed throughput below
+	// half the single-shard baseline (bounded routing overhead), and the
+	// warm phase tripped hot-key replication with replicas taking reads.
+	if c := report.Cluster; c == nil {
+		t.Logf("baseline %s has no \"cluster\" record; re-run scripts/bench.sh to gate the shard fleet", path)
+	} else {
+		var rps1 float64
+		replications, replicaHits := 0.0, 0.0
+		for _, p := range c.Points {
+			t.Logf("cluster %d shards: cold %.0f req/s, warm %.0f req/s, replications %.0f, replica hits %.0f (%s)",
+				p.Shards, p.Cold.RPS, p.Warm.RPS,
+				p.RouterStats.Cluster.Replications, p.RouterStats.Cluster.ReplicaHits, path)
+			if p.Cold.Errors > 0 || p.Warm.Errors > 0 {
+				t.Errorf("cluster %d-shard point recorded errors (cold %d, warm %d) (%s)",
+					p.Shards, p.Cold.Errors, p.Warm.Errors, path)
+			}
+			if p.Shards == 1 {
+				rps1 = p.Cold.RPS
+			}
+			if p.Shards > 1 && rps1 > 0 && p.Cold.RPS < 0.5*rps1 {
+				t.Errorf("cluster %d-shard cold throughput %.0f req/s collapsed below half the 1-shard %.0f req/s (%s)",
+					p.Shards, p.Cold.RPS, rps1, path)
+			}
+			replications += p.RouterStats.Cluster.Replications
+			replicaHits += p.RouterStats.Cluster.ReplicaHits
+		}
+		if c.CPUs >= 4 {
+			t.Logf("cluster cold scaling 4-shard/1-shard: %.2fx on %d CPUs (%s)", c.ColdScaling4x, c.CPUs, path)
+			if c.ColdScaling4x < 3 {
+				t.Errorf("cluster 4-shard cold scaling %.2fx is below the 3x floor on a %d-CPU host (%s)",
+					c.ColdScaling4x, c.CPUs, path)
+			}
+		} else {
+			t.Logf("cluster scaling floor not binding: recorded on %d CPUs (<4); structural checks only (%s)", c.CPUs, path)
+		}
+		if replications == 0 {
+			t.Errorf("no cluster sweep point recorded a completed hot-key replication (%s)", path)
+		}
+		if replicaHits == 0 {
+			t.Errorf("no cluster sweep point recorded warm reads served by a replica (%s)", path)
 		}
 	}
 }

@@ -38,12 +38,24 @@ func cmdLoadgen(args []string) error {
 	probe := fs.Bool("probe", false, "send ONE warm decode and report its server-side latency + labels (restart-recovery measurement), then exit")
 	probeCold := fs.Bool("probe-cold", false, "with -probe: also measure engine recompute cost and report the recompute/disk-recovery ratio")
 	probeIters := fs.Int("probe-iters", 16, "with -probe-cold: flush/reload and recompute cycles to average the ratio over")
+	clusterSweep := fs.Bool("cluster", false, "spawn locad cluster fleets and sweep routed /v1/decode throughput across -cluster-shards sizes (ignores -addr)")
+	clusterShards := fs.String("cluster-shards", "1,2,4,8", "comma-separated fleet sizes for the -cluster sweep")
+	clusterSeeds := fs.Int("cluster-seeds", 16, "distinct graph seeds the cold cluster phase cycles (spreads keys across owners)")
+	hotThreshold := fs.Int("hot-threshold", 8, "cluster hot-key replication threshold passed to the spawned fleets")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *clusterSweep {
+		counts, err := parseShardCounts(*clusterShards)
+		if err != nil {
+			return err
+		}
+		return runClusterSweep(*schema, *family, *n, counts, *clusterSeeds, *concurrency, *duration, *hotThreshold, *jsonOut)
+	}
+
 	base := "http://" + *addr
-	client := &http.Client{Timeout: 60 * time.Second}
+	client := newLoadgenClient()
 
 	if *probe {
 		return runProbe(client, base, *schema, *family, *n, *seed, *probeCold, *probeIters)
@@ -137,6 +149,24 @@ func cmdLoadgen(args []string) error {
 			batchRep.RPS, batchRep.ItemsPerSecond, batchRep.BatchSize, batchRep.Errors)
 	}
 	return nil
+}
+
+// newLoadgenClient builds the shared benchmark client. The default
+// transport keeps only 2 idle connections per host, so at concurrency 8+
+// most requests open a fresh TCP connection, piling up TIME_WAIT sockets
+// until high-rate runs exhaust ephemeral ports and understate throughput.
+// Keeping one idle connection per loop (and skipping gzip, which the server
+// never negotiates for these tiny JSON bodies) makes every lane reuse its
+// connection.
+func newLoadgenClient() *http.Client {
+	return &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			DisableCompression:  true,
+		},
+	}
 }
 
 // batchReport is the phaseReport of a binary /v1/batch phase plus the
@@ -369,6 +399,14 @@ type phaseReport struct {
 // for the given wall-clock duration. 429 responses are counted as shed, not
 // errors: they are the server's bounded pool doing its job.
 func runPhase(client *http.Client, url string, body []byte, concurrency int, d time.Duration) (phaseReport, error) {
+	return runPhaseBodies(client, url, [][]byte{body}, concurrency, d)
+}
+
+// runPhaseBodies is runPhase over a body rotation: each loop cycles through
+// the bodies in order. The cluster sweep uses it to spread cold decodes over
+// distinct graph seeds, so the routed keys land on different owners instead
+// of serializing one shard.
+func runPhaseBodies(client *http.Client, url string, bodies [][]byte, concurrency int, d time.Duration) (phaseReport, error) {
 	deadline := time.Now().Add(d)
 	type lane struct {
 		lat    []int64
@@ -380,11 +418,11 @@ func runPhase(client *http.Client, url string, body []byte, concurrency int, d t
 	var wg sync.WaitGroup
 	for i := 0; i < concurrency; i++ {
 		wg.Add(1)
-		go func(ln *lane) {
+		go func(laneID int, ln *lane) {
 			defer wg.Done()
-			for time.Now().Before(deadline) {
+			for seq := laneID; time.Now().Before(deadline); seq++ {
 				start := time.Now()
-				status, err := postOnce(client, url, body)
+				status, err := postOnce(client, url, bodies[seq%len(bodies)])
 				if err != nil {
 					ln.err = err
 					return
@@ -399,7 +437,7 @@ func runPhase(client *http.Client, url string, body []byte, concurrency int, d t
 				}
 				ln.lat = append(ln.lat, time.Since(start).Nanoseconds())
 			}
-		}(&lanes[i])
+		}(i, &lanes[i])
 	}
 	wg.Wait()
 

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// clusterPoint is one fleet size's measurement in the sweep.
+type clusterPoint struct {
+	Shards      int             `json:"shards"`
+	Cold        phaseReport     `json:"cold"`
+	Warm        phaseReport     `json:"warm"`
+	RouterStats json.RawMessage `json:"router_stats,omitempty"`
+}
+
+// runClusterSweep measures routed throughput at several fleet sizes: for
+// each count it spawns a fresh `locad cluster` (router + shards on
+// ephemeral ports), drives the router cold — cycling `seeds` distinct graph
+// seeds so the routed keys spread over the owners — and then warm on one
+// hot key long enough to trip replication, scrapes the router stats, and
+// tears the fleet down.
+//
+// The report records runtime.NumCPU(): aggregate cold scaling is a
+// CPU-parallelism effect, so the bench-regression gate only enforces the
+// scaling floor when the recording machine actually had the cores
+// (DESIGN.md §9); cold_scaling_4x is reported either way.
+func runClusterSweep(schema, family string, n int, shardCounts []int, seeds, concurrency int, d time.Duration, hotThreshold int, jsonOut bool) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	client := newLoadgenClient()
+
+	makeBody := func(seed int64, cached bool) []byte {
+		b, _ := json.Marshal(map[string]any{
+			"schema": schema,
+			"graph":  map[string]any{"family": family, "n": n, "seed": seed},
+			"cache":  cached,
+		})
+		return b
+	}
+	coldBodies := make([][]byte, seeds)
+	for i := range coldBodies {
+		coldBodies[i] = makeBody(int64(i+1), false)
+	}
+	hotBody := makeBody(1, true)
+
+	points := make([]clusterPoint, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		cmd, addr, err := spawnAwaitLine(exe, []string{
+			"cluster", "-addr", "127.0.0.1:0",
+			"-shards", fmt.Sprint(shards),
+			"-hot-threshold", fmt.Sprint(hotThreshold),
+		}, "locad cluster: router listening on ", 60*time.Second)
+		if err != nil {
+			return fmt.Errorf("starting %d-shard cluster: %w", shards, err)
+		}
+		point, err := func() (clusterPoint, error) {
+			base := "http://" + addr
+			if _, err := postOnce(client, base+"/v1/decode", hotBody); err != nil {
+				return clusterPoint{}, fmt.Errorf("priming %d-shard cluster: %w", shards, err)
+			}
+			cold, err := runPhaseBodies(client, base+"/v1/decode", coldBodies, concurrency, d)
+			if err != nil {
+				return clusterPoint{}, err
+			}
+			warm, err := runPhase(client, base+"/v1/decode", hotBody, concurrency, d)
+			if err != nil {
+				return clusterPoint{}, err
+			}
+			p := clusterPoint{Shards: shards, Cold: cold, Warm: warm}
+			if stats, err := scrapeStats(client, base); err == nil {
+				p.RouterStats = stats
+			}
+			return p, nil
+		}()
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+		if err != nil {
+			return err
+		}
+		points = append(points, point)
+		if !jsonOut {
+			fmt.Printf("  %d shards: cold %8.1f req/s  warm %8.1f req/s\n",
+				shards, point.Cold.RPS, point.Warm.RPS)
+		}
+	}
+
+	scaling4x := 0.0
+	var rps1 float64
+	for _, p := range points {
+		if p.Shards == 1 {
+			rps1 = p.Cold.RPS
+		}
+		if p.Shards == 4 && rps1 > 0 {
+			scaling4x = p.Cold.RPS / rps1
+		}
+	}
+
+	if jsonOut {
+		report := map[string]any{
+			"cpus":            runtime.NumCPU(),
+			"schema":          schema,
+			"graph":           map[string]any{"family": family, "n": n},
+			"seeds":           seeds,
+			"concurrency":     concurrency,
+			"phase_seconds":   d.Seconds(),
+			"hot_threshold":   hotThreshold,
+			"points":          points,
+			"cold_scaling_4x": scaling4x,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	if scaling4x > 0 {
+		fmt.Printf("  cold scaling 4-shard/1-shard: %.2fx (%d cpus)\n", scaling4x, runtime.NumCPU())
+	}
+	return nil
+}
+
+// parseShardCounts parses the -cluster-shards list ("1,2,4,8").
+func parseShardCounts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

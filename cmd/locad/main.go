@@ -79,6 +79,8 @@ func run(args []string) error {
 		return cmdLoad(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
 	case "store":
@@ -120,10 +122,14 @@ subcommands:
   serve             run the HTTP/JSON serving layer (-addr -cache-mb
                     -max-inflight -timeout -store-dir); SIGTERM drains
                     gracefully; -store-dir persists artifacts across restarts
+  cluster           run a local shard fleet: -shards N serve processes plus a
+                    digest-routing router on -addr (-replicas -hot-threshold
+                    -store-root); SIGTERM drains the router then the shards
   loadgen           drive a running serve with cold/warm /v1/decode traffic
                     and report req/s + p50/p95/p99 per phase (-json for the
                     shape bench.sh embeds); -batch adds a binary /v1/batch
-                    phase, -probe measures a single decode (restart recovery)
+                    phase, -probe measures a single decode (restart recovery),
+                    -cluster sweeps routed throughput at several fleet sizes
   store {ls,gc,verify}  inspect, garbage-collect or integrity-check a
                     persistent artifact store directory (-dir)
 

@@ -38,6 +38,7 @@ type Stats struct {
 	Computes   uint64 `json:"computes"`
 	Evictions  uint64 `json:"evictions"`
 	Rejected   uint64 `json:"rejected"` // computed values too large (or too late) to store
+	Puts       uint64 `json:"puts"`     // direct insertions (replicated artifacts)
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
 	MaxBytes   int64  `json:"max_bytes"`
@@ -63,7 +64,7 @@ type Cache struct {
 	byKey    map[string]*list.Element
 	inflight map[string]*call
 
-	hits, misses, dedups, computes, evictions, rejected uint64
+	hits, misses, dedups, computes, evictions, rejected, puts uint64
 }
 
 type entry struct {
@@ -141,6 +142,34 @@ func (c *Cache) Do(key string, compute func() (value any, size int64, err error)
 	return v, false, err
 }
 
+// Put inserts (or replaces) a value directly, bypassing singleflight: the
+// artifact was produced elsewhere — a replication push from the owning shard
+// in cluster mode — and only needs to become resident. Respects the size
+// bound exactly like Do's insertion path (oversized values and disabled
+// storage are rejected, LRU entries are evicted to make room) and reports
+// whether the value is now resident. A racing in-flight Do computation for
+// the same key is unaffected: its waiters get the computed value, and its
+// insertion simply replaces this one.
+func (c *Cache) Put(key string, value any, size int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	if size > c.maxBytes || c.maxBytes <= 0 {
+		c.rejected++
+		return false
+	}
+	if el, ok := c.byKey[key]; ok {
+		c.bytes -= el.Value.(*entry).size
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+	}
+	el := c.ll.PushFront(&entry{key: key, value: value, size: size})
+	c.byKey[key] = el
+	c.bytes += size
+	c.evictLocked()
+	return true
+}
+
 // evictLocked drops least-recently-used entries until the size bound holds.
 func (c *Cache) evictLocked() {
 	for c.bytes > c.maxBytes {
@@ -173,7 +202,7 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Dedups: c.dedups, Computes: c.computes,
-		Evictions: c.evictions, Rejected: c.rejected,
+		Evictions: c.evictions, Rejected: c.rejected, Puts: c.puts,
 		Entries: c.ll.Len(), Bytes: c.bytes, MaxBytes: c.maxBytes, Generation: c.gen,
 	}
 }

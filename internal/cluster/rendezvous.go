@@ -1,0 +1,80 @@
+// Package cluster is the fleet tier of the serving layer (DESIGN.md §9): a
+// router that owns no artifacts itself but assigns every artifact key to an
+// owning shard by rendezvous hashing, forwards requests to the owner over
+// the binary batch framing, replicates hot artifacts to the owner's replica
+// set, and degrades — failover, then local compute — when shards die.
+//
+// Rendezvous (highest-random-weight) hashing gives the two properties the
+// cache contract needs without any coordination state: every process that
+// knows the shard names computes the same owner for a key, and adding or
+// removing one shard of N moves only the keys that shard wins — an expected
+// 1/N of the keyspace — while every other key keeps its owner (so a fleet
+// resize invalidates almost nothing).
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// score is the rendezvous weight of (shard, key): a 64-bit FNV-1a over the
+// shard name and the key, NUL-separated. FNV is stable across processes and
+// architectures — unlike Go's map iteration or hash/maphash seeds — which is
+// what makes the owner assignment a pure function of (key, shard names).
+func score(shard, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank orders shards by descending rendezvous score for key, breaking score
+// ties by ascending name so the order is total and deterministic. The first
+// element is the key's owner; the next Replicas(k) elements are its replica
+// set; the remainder is the failover order.
+func Rank(key string, shards []string) []string {
+	out := make([]string, len(shards))
+	copy(out, shards)
+	scores := make(map[string]uint64, len(out))
+	for _, s := range out {
+		scores[s] = score(s, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Owner returns the owning shard for key ("" for an empty fleet).
+func Owner(key string, shards []string) string {
+	if len(shards) == 0 {
+		return ""
+	}
+	best := shards[0]
+	bestScore := score(best, key)
+	for _, s := range shards[1:] {
+		if sc := score(s, key); sc > bestScore || (sc == bestScore && s < best) {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}
+
+// Replicas returns the k shards ranked immediately after the owner — the
+// replica set hot artifacts are pushed to. The owner is never a member, and
+// the set is capped at the fleet size minus one.
+func Replicas(key string, shards []string, k int) []string {
+	if k <= 0 || len(shards) <= 1 {
+		return nil
+	}
+	rank := Rank(key, shards)
+	if k > len(rank)-1 {
+		k = len(rank) - 1
+	}
+	return rank[1 : 1+k]
+}

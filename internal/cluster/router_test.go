@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"localadvice/internal/server"
+)
+
+// testFleet is a set of in-process shard servers behind httptest listeners.
+type testFleet struct {
+	shards  []Shard
+	servers []*server.Server
+	https   []*httptest.Server
+}
+
+func newTestFleet(t *testing.T, n int) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Config{Role: "shard"})
+		if err != nil {
+			t.Fatalf("shard server: %v", err)
+		}
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		f.servers = append(f.servers, s)
+		f.https = append(f.https, ts)
+		f.shards = append(f.shards, Shard{Name: fmt.Sprintf("shard%d", i), URL: ts.URL})
+	}
+	return f
+}
+
+// shardByName finds a fleet member's in-process server for direct stats
+// inspection.
+func (f *testFleet) shardByName(t *testing.T, name string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	for i, sh := range f.shards {
+		if sh.Name == name {
+			return f.servers[i], f.https[i]
+		}
+	}
+	t.Fatalf("no shard named %q", name)
+	return nil, nil
+}
+
+func newTestRouter(t *testing.T, f *testFleet, mod func(*Config)) *Router {
+	t.Helper()
+	local, err := server.New(server.Config{Role: "router"})
+	if err != nil {
+		t.Fatalf("local server: %v", err)
+	}
+	cfg := Config{Shards: f.shards, Local: local}
+	if mod != nil {
+		mod(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return rt
+}
+
+// doPost drives an http.Handler (router or single server) directly.
+func doPost(t *testing.T, h http.Handler, path, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	r.Header.Set("Content-Type", contentType)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func doGet(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// respCode extracts the machine-readable "code" of a typed error body.
+func respCode(t *testing.T, body string) string {
+	t.Helper()
+	var eb struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("error body is not the typed shape: %v: %s", err, body)
+	}
+	return eb.Code
+}
+
+// shardStats fetches a shard's own /v1/stats.
+func shardStats(t *testing.T, s *server.Server) server.StatsResponse {
+	t.Helper()
+	w := doGet(t, s, "/v1/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("shard stats: %d: %s", w.Code, w.Body.String())
+	}
+	var st server.StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("shard stats unmarshal: %v", err)
+	}
+	return st
+}
+
+// clusterTestSpecs covers every registered schema, matching the store
+// bit-identity suite's coverage.
+var clusterTestSpecs = map[string]server.GraphSpec{
+	"mis":        {Family: "cycle", N: 48, Seed: 7},
+	"orient":     {Family: "cycle", N: 60, Seed: 7},
+	"color3":     {Family: "cycle", N: 60, Seed: 7},
+	"deltacolor": {Family: "torus", N: 36, Seed: 7},
+	"growth":     {Family: "cycle", N: 96, Seed: 7},
+}
+
+// normalizeDecode strips the fields that legitimately differ between a
+// routed and a direct response (cache hit status and timing) and returns a
+// canonical rendering of everything else.
+func normalizeDecode(t *testing.T, raw []byte) string {
+	t.Helper()
+	var dr server.DecodeResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatalf("decode response unmarshal: %v: %s", err, raw)
+	}
+	dr.Cached = false
+	dr.ElapsedNano = 0
+	out, _ := json.Marshal(dr)
+	return string(out)
+}
+
+func normalizeEncode(t *testing.T, raw []byte) string {
+	t.Helper()
+	var er server.EncodeResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("encode response unmarshal: %v: %s", err, raw)
+	}
+	er.Cached = false
+	er.ElapsedNano = 0
+	out, _ := json.Marshal(er)
+	return string(out)
+}
+
+// TestPropertyRoutedMatchesSingle is the cluster bit-identity contract: for
+// every registered schema, a response served through the router (forwarded
+// over the binary inter-node frame and reconstructed) must equal the
+// response a single-process server gives, modulo cache/timing fields —
+// and /v1/verify, which has neither field, must match bit for bit.
+func TestPropertyRoutedMatchesSingle(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rt := newTestRouter(t, f, nil)
+	single := newSingleServer(t)
+
+	for schema, spec := range clusterTestSpecs {
+		specJSON, _ := json.Marshal(spec)
+		decodeBody := []byte(fmt.Sprintf(`{"schema":%q,"graph":%s}`, schema, specJSON))
+
+		routed := doPost(t, rt, "/v1/decode", "application/json", decodeBody)
+		direct := doPost(t, single, "/v1/decode", "application/json", decodeBody)
+		if routed.Code != http.StatusOK || direct.Code != http.StatusOK {
+			t.Fatalf("%s decode: routed %d direct %d: %s / %s",
+				schema, routed.Code, direct.Code, routed.Body, direct.Body)
+		}
+		if got, want := normalizeDecode(t, routed.Body.Bytes()), normalizeDecode(t, direct.Body.Bytes()); got != want {
+			t.Errorf("%s: routed decode differs from single-process:\n routed: %s\n direct: %s", schema, got, want)
+		}
+
+		encodeBody := []byte(fmt.Sprintf(`{"schema":%q,"graph":%s}`, schema, specJSON))
+		routedEnc := doPost(t, rt, "/v1/encode", "application/json", encodeBody)
+		directEnc := doPost(t, single, "/v1/encode", "application/json", encodeBody)
+		if routedEnc.Code != http.StatusOK || directEnc.Code != http.StatusOK {
+			t.Fatalf("%s encode: routed %d direct %d", schema, routedEnc.Code, directEnc.Code)
+		}
+		if got, want := normalizeEncode(t, routedEnc.Body.Bytes()), normalizeEncode(t, directEnc.Body.Bytes()); got != want {
+			t.Errorf("%s: routed encode differs from single-process:\n routed: %s\n direct: %s", schema, got, want)
+		}
+
+		// Inline-advice decode takes the JSON proxy path; it must agree too.
+		var enc server.EncodeResponse
+		if err := json.Unmarshal(directEnc.Body.Bytes(), &enc); err != nil {
+			t.Fatalf("%s: encode response: %v", schema, err)
+		}
+		adviceJSON, _ := json.Marshal(enc.Advice)
+		inlineBody := []byte(fmt.Sprintf(`{"schema":%q,"graph":%s,"advice":%s}`, schema, specJSON, adviceJSON))
+		routedInl := doPost(t, rt, "/v1/decode", "application/json", inlineBody)
+		directInl := doPost(t, single, "/v1/decode", "application/json", inlineBody)
+		if routedInl.Code != http.StatusOK || directInl.Code != http.StatusOK {
+			t.Fatalf("%s inline decode: routed %d direct %d: %s", schema, routedInl.Code, directInl.Code, routedInl.Body)
+		}
+		if got, want := normalizeDecode(t, routedInl.Body.Bytes()), normalizeDecode(t, directInl.Body.Bytes()); got != want {
+			t.Errorf("%s: routed inline-advice decode differs:\n routed: %s\n direct: %s", schema, got, want)
+		}
+
+		// Verify has no cache/timing fields: demand raw byte equality.
+		var dec server.DecodeResponse
+		json.Unmarshal(direct.Body.Bytes(), &dec)
+		labelsJSON, _ := json.Marshal(dec.Labels)
+		verifyBody := []byte(fmt.Sprintf(`{"schema":%q,"graph":%s,"labels":%s}`, schema, specJSON, labelsJSON))
+		routedVer := doPost(t, rt, "/v1/verify", "application/json", verifyBody)
+		directVer := doPost(t, single, "/v1/verify", "application/json", verifyBody)
+		if routedVer.Code != http.StatusOK || directVer.Code != http.StatusOK {
+			t.Fatalf("%s verify: routed %d direct %d", schema, routedVer.Code, directVer.Code)
+		}
+		if !bytes.Equal(routedVer.Body.Bytes(), directVer.Body.Bytes()) {
+			t.Errorf("%s: routed verify not bit-identical:\n routed: %s\n direct: %s",
+				schema, routedVer.Body, directVer.Body)
+		}
+	}
+}
+
+func newSingleServer(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Role: "single"})
+	if err != nil {
+		t.Fatalf("single server: %v", err)
+	}
+	return s
+}
+
+// TestPropertyRoutedBatchBitIdentical: a binary batch frame answered
+// through the router is byte-for-byte the frame a direct shard request
+// produces — the router proxies it untouched.
+func TestPropertyRoutedBatchBitIdentical(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rt := newTestRouter(t, f, nil)
+	single := newSingleServer(t)
+
+	frame, err := server.EncodeBatchRequest("mis", server.GraphSpec{Family: "cycle", N: 48, Seed: 3}, false, []server.BatchItem{{}, {}})
+	if err != nil {
+		t.Fatalf("EncodeBatchRequest: %v", err)
+	}
+	routed := doPost(t, rt, "/v1/batch", "application/octet-stream", frame)
+	direct := doPost(t, single, "/v1/batch", "application/octet-stream", frame)
+	if routed.Code != http.StatusOK || direct.Code != http.StatusOK {
+		t.Fatalf("batch: routed %d direct %d: %s", routed.Code, direct.Code, routed.Body)
+	}
+	if !bytes.Equal(routed.Body.Bytes(), direct.Body.Bytes()) {
+		t.Errorf("routed batch frame differs from direct (%d vs %d bytes)",
+			routed.Body.Len(), direct.Body.Len())
+	}
+}
+
+// TestRaceHotKeyReplication drives one key past the hot threshold and
+// checks the full replication arc: the router exports the owner's
+// artifacts, imports them into the replica, rotates warm reads onto it, and
+// the replica serves those reads purely from imported state — zero engine
+// computes.
+func TestRaceHotKeyReplication(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rt := newTestRouter(t, f, func(c *Config) {
+		c.Replicas = 1
+		c.HotThreshold = 2
+	})
+
+	spec := server.GraphSpec{Family: "cycle", N: 48, Seed: 5}
+	key, err := server.SpecCacheKey(spec)
+	if err != nil {
+		t.Fatalf("SpecCacheKey: %v", err)
+	}
+	names := []string{"shard0", "shard1", "shard2"}
+	replicaName := Replicas(key, names, 1)[0]
+	replica, _ := f.shardByName(t, replicaName)
+
+	body := []byte(fmt.Sprintf(`{"schema":"mis","graph":{"family":"cycle","n":%d,"seed":%d}}`, spec.N, spec.Seed))
+	decodeOnce := func() server.DecodeResponse {
+		w := doPost(t, rt, "/v1/decode", "application/json", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("routed decode: %d: %s", w.Code, w.Body)
+		}
+		var dr server.DecodeResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+		return dr
+	}
+
+	want := decodeOnce()
+
+	// Cross the threshold, then wait for the async replication to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Metrics().Snapshot().Replications == 0 {
+		decodeOnce()
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never completed: %+v", rt.Metrics().Snapshot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := rt.Metrics().Snapshot().ReplicationErrors; n != 0 {
+		t.Fatalf("replication errors: %d", n)
+	}
+
+	// Warm reads now rotate across owner+replica; the replica must serve
+	// some of them, with answers identical to the owner's.
+	for i := 0; rt.Metrics().Snapshot().ReplicaHits == 0; i++ {
+		// The replica's first read may rebuild its decode artifact from the
+		// imported advice (a table run, not an engine compute), so Cached is
+		// not asserted here — only that the answer never diverges.
+		got := decodeOnce()
+		if fmt.Sprint(got.Labels) != fmt.Sprint(want.Labels) || got.GraphDigest != want.GraphDigest {
+			t.Fatalf("replicated read diverged: %+v vs %+v", got, want)
+		}
+		if i > 50 {
+			t.Fatalf("no replica hit after %d warm reads: %+v", i, rt.Metrics().Snapshot())
+		}
+	}
+
+	st := shardStats(t, replica)
+	if st.Engine != 0 {
+		t.Errorf("replica %s ran %d engine computes; replicated artifacts should make that 0", replicaName, st.Engine)
+	}
+	if st.Cache.Puts == 0 {
+		t.Errorf("replica %s shows no direct cache puts; import did not land", replicaName)
+	}
+	if st.Cache.Hits == 0 {
+		t.Errorf("replica %s served no cache hits", replicaName)
+	}
+}
+
+// TestFailoverPastDeadOwner: with the owning shard gone, the router serves
+// the key from the next shard in rendezvous order — same correct answer,
+// counted as a failover.
+func TestFailoverPastDeadOwner(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rt := newTestRouter(t, f, nil)
+	single := newSingleServer(t)
+
+	spec := server.GraphSpec{Family: "cycle", N: 60, Seed: 9}
+	key, err := server.SpecCacheKey(spec)
+	if err != nil {
+		t.Fatalf("SpecCacheKey: %v", err)
+	}
+	owner := Owner(key, []string{"shard0", "shard1", "shard2"})
+	_, ownerHTTP := f.shardByName(t, owner)
+	ownerHTTP.Close()
+
+	body := []byte(`{"schema":"color3","graph":{"family":"cycle","n":60,"seed":9}}`)
+	w := doPost(t, rt, "/v1/decode", "application/json", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("decode with dead owner: %d: %s", w.Code, w.Body)
+	}
+	direct := doPost(t, single, "/v1/decode", "application/json", body)
+	if got, want := normalizeDecode(t, w.Body.Bytes()), normalizeDecode(t, direct.Body.Bytes()); got != want {
+		t.Errorf("failover answer differs from single-process:\n failover: %s\n direct:   %s", got, want)
+	}
+	snap := rt.Metrics().Snapshot()
+	if snap.Failovers == 0 {
+		t.Errorf("expected a failover to be counted: %+v", snap)
+	}
+	if snap.LocalFallbacks != 0 {
+		t.Errorf("failover should not have fallen back to local compute: %+v", snap)
+	}
+}
+
+// TestShardDownWithoutFallback: when every shard is unreachable and local
+// fallback is disabled, the router degrades to the typed 503.
+func TestShardDownWithoutFallback(t *testing.T) {
+	f := newTestFleet(t, 2)
+	rt := newTestRouter(t, f, func(c *Config) { c.DisableFallback = true })
+	for _, ts := range f.https {
+		ts.Close()
+	}
+
+	body := []byte(`{"schema":"mis","graph":{"family":"cycle","n":48}}`)
+	w := doPost(t, rt, "/v1/decode", "application/json", body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 with fleet down, got %d: %s", w.Code, w.Body)
+	}
+	if code := respCode(t, w.Body.String()); code != "shard_down" {
+		t.Errorf("want error code shard_down, got %q", code)
+	}
+}
+
+// TestShardDownFallsBackToLocalCompute: same dead fleet, fallback enabled —
+// the router computes the answer itself rather than failing.
+func TestShardDownFallsBackToLocalCompute(t *testing.T) {
+	f := newTestFleet(t, 2)
+	rt := newTestRouter(t, f, nil)
+	for _, ts := range f.https {
+		ts.Close()
+	}
+
+	body := []byte(`{"schema":"mis","graph":{"family":"cycle","n":48}}`)
+	w := doPost(t, rt, "/v1/decode", "application/json", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("local fallback decode: %d: %s", w.Code, w.Body)
+	}
+	var dr server.DecodeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil || !dr.Verified {
+		t.Fatalf("fallback answer not a verified decode: %v: %s", err, w.Body)
+	}
+	if rt.Metrics().Snapshot().LocalFallbacks == 0 {
+		t.Errorf("local fallback not counted: %+v", rt.Metrics().Snapshot())
+	}
+}
+
+// TestClusterFlushFanout: a router flush empties every shard's cache and
+// bumps the cluster generation; nothing pre-flush is served afterwards
+// (the next decode of a previously warm key recomputes, cached:false).
+func TestClusterFlushFanout(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rt := newTestRouter(t, f, nil)
+
+	// Warm several distinct keys so multiple shards hold artifacts.
+	var bodies [][]byte
+	for seed := 1; seed <= 6; seed++ {
+		b := []byte(fmt.Sprintf(`{"schema":"mis","graph":{"family":"cycle","n":48,"seed":%d}}`, seed))
+		bodies = append(bodies, b)
+		if w := doPost(t, rt, "/v1/decode", "application/json", b); w.Code != http.StatusOK {
+			t.Fatalf("warmup decode: %d: %s", w.Code, w.Body)
+		}
+	}
+	warmed := 0
+	for _, s := range f.servers {
+		warmed += shardStats(t, s).Cache.Entries
+	}
+	if warmed == 0 {
+		t.Fatalf("warmup left no shard cache entries")
+	}
+
+	w := doPost(t, rt, "/v1/cache/flush", "application/json", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cluster flush: %d: %s", w.Code, w.Body)
+	}
+	var fr ClusterFlushResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &fr); err != nil {
+		t.Fatalf("flush response: %v", err)
+	}
+	if !fr.Flushed || fr.Generation != 1 || len(fr.Shards) != 3 {
+		t.Errorf("flush response off: %+v", fr)
+	}
+
+	// No shard may serve a pre-flush artifact: every cache is empty.
+	for i, s := range f.servers {
+		if n := shardStats(t, s).Cache.Entries; n != 0 {
+			t.Errorf("shard%d still holds %d cache entries after cluster flush", i, n)
+		}
+	}
+	// And the next read of a previously warm key is a recompute.
+	var dr server.DecodeResponse
+	w = doPost(t, rt, "/v1/decode", "application/json", bodies[0])
+	if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
+		t.Fatalf("post-flush decode: %v: %s", err, w.Body)
+	}
+	if dr.Cached {
+		t.Errorf("post-flush decode served from cache; flush did not take")
+	}
+}
+
+// TestClusterFlushDeadShard: a flush that cannot reach every shard fails
+// loudly with the typed 503 — a silently partial flush would leave stale
+// artifacts servable.
+func TestClusterFlushDeadShard(t *testing.T) {
+	f := newTestFleet(t, 3)
+	rt := newTestRouter(t, f, nil)
+	f.https[1].Close()
+
+	w := doPost(t, rt, "/v1/cache/flush", "application/json", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("flush with dead shard: want 503, got %d: %s", w.Code, w.Body)
+	}
+	if code := respCode(t, w.Body.String()); code != "shard_down" {
+		t.Errorf("want error code shard_down, got %q", code)
+	}
+	if !strings.Contains(w.Body.String(), "shard1") {
+		t.Errorf("flush failure should name the unreachable shard: %s", w.Body)
+	}
+}
+
+// TestRouterStatsShape: the router's own healthz/stats endpoints report the
+// router role, fleet health, and the routed-by-shard ownership counts.
+func TestRouterStatsShape(t *testing.T) {
+	f := newTestFleet(t, 2)
+	rt := newTestRouter(t, f, nil)
+
+	body := []byte(`{"schema":"mis","graph":{"family":"cycle","n":48}}`)
+	if w := doPost(t, rt, "/v1/decode", "application/json", body); w.Code != http.StatusOK {
+		t.Fatalf("decode: %d: %s", w.Code, w.Body)
+	}
+
+	hw := doGet(t, rt, "/v1/healthz")
+	var hz RouterHealthz
+	if err := json.Unmarshal(hw.Body.Bytes(), &hz); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if hz.Role != "router" || hz.Shards != 2 || hz.HealthyShards != 2 || hz.Status != "ok" {
+		t.Errorf("healthz off: %+v", hz)
+	}
+
+	sw := doGet(t, rt, "/v1/stats")
+	var st RouterStats
+	if err := json.Unmarshal(sw.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Role != "router" || len(st.Fleet) != 2 {
+		t.Errorf("stats fleet off: %+v", st)
+	}
+	total := uint64(0)
+	for _, n := range st.Cluster.RoutedByShard {
+		total += n
+	}
+	if total == 0 {
+		t.Errorf("routed_by_shard recorded nothing: %+v", st.Cluster)
+	}
+	if st.Cluster.Forwards == 0 {
+		t.Errorf("forward not counted: %+v", st.Cluster)
+	}
+}

@@ -30,6 +30,32 @@ type GraphSpec struct {
 	Seed   int64  `json:"seed,omitempty"`
 }
 
+// SpecCacheKey maps a graph spec onto its cache key — `graph:text:<sha256>`
+// for inline edge lists, `graph:<family>:<n>:<seed>` for generated families
+// (DESIGN.md §7). The key is a pure function of the request bytes, so it
+// doubles as the cluster tier's routing key: every artifact derived from a
+// spec shares this root, and rendezvous-hashing it assigns all of them to
+// one owning shard without building the graph (DESIGN.md §9).
+func SpecCacheKey(spec GraphSpec) (string, error) {
+	switch {
+	case spec.Text != "":
+		if spec.Family != "" {
+			return "", errf(http.StatusBadRequest, "bad_graph_spec",
+				"graph spec sets both text and family")
+		}
+		return "graph:text:" + sha256hex(spec.Text), nil
+	case spec.Family != "":
+		if spec.N <= 0 {
+			return "", errf(http.StatusBadRequest, "bad_graph_spec",
+				"graph spec needs n > 0, got %d", spec.N)
+		}
+		return fmt.Sprintf("graph:%s:%d:%d", spec.Family, spec.N, spec.Seed), nil
+	default:
+		return "", errf(http.StatusBadRequest, "bad_graph_spec",
+			"graph spec needs either text or family")
+	}
+}
+
 // cachedGraph is the resident form of a resolved graph: the graph with its
 // CSR snapshot prebuilt, plus its digest (the root of every derived cache
 // key).
@@ -127,26 +153,18 @@ func (s *Server) resolveSchema(name string) (*schemaEntry, error) {
 // Graphs are cheap to rebuild relative to their on-disk size, so they are
 // memoized in the LRU but never persisted.
 func (s *Server) resolveGraph(spec GraphSpec, cached bool, src string) (*cachedGraph, bool, error) {
-	var key string
+	key, err := SpecCacheKey(spec)
+	if err != nil {
+		return nil, false, err
+	}
 	var build func() (*graph.Graph, error)
-	switch {
-	case spec.Text != "":
-		if spec.Family != "" {
-			return nil, false, errf(http.StatusBadRequest, "bad_graph_spec",
-				"graph spec sets both text and family")
-		}
-		key = "graph:text:" + sha256hex(spec.Text)
+	if spec.Text != "" {
 		build = func() (*graph.Graph, error) { return graph.ReadEdgeList(strings.NewReader(spec.Text)) }
-	case spec.Family != "":
-		if spec.N <= 0 {
-			return nil, false, errf(http.StatusBadRequest, "bad_graph_spec",
-				"graph spec needs n > 0, got %d", spec.N)
-		}
+	} else {
 		if spec.N > s.cfg.MaxNodes {
 			return nil, false, errf(http.StatusRequestEntityTooLarge, "graph_too_large",
 				"requested %d nodes exceeds the server bound %d", spec.N, s.cfg.MaxNodes)
 		}
-		key = fmt.Sprintf("graph:%s:%d:%d", spec.Family, spec.N, spec.Seed)
 		build = func() (*graph.Graph, error) {
 			g, err := harness.BuildGraph(spec.Family, spec.N, spec.Seed)
 			if err != nil {
@@ -156,9 +174,6 @@ func (s *Server) resolveGraph(spec GraphSpec, cached bool, src string) (*cachedG
 			}
 			return g, nil
 		}
-	default:
-		return nil, false, errf(http.StatusBadRequest, "bad_graph_spec",
-			"graph spec needs either text or family")
 	}
 	v, hit, err := s.doCached(key, cached, src, func() (any, int64, error) {
 		g, err := build()
@@ -227,7 +242,7 @@ func parseAdvice(g *graph.Graph, strs []string) (local.Advice, error) {
 // one singleflight call: a startup stampede of N identical requests loads
 // or computes each advice assignment at most once.
 func (s *Server) encodeAdvice(sc *schemaEntry, cg *cachedGraph, cached bool, src string) (local.Advice, bool, error) {
-	key := "advice:" + cg.digest + ":" + sc.Name + "@" + sc.Params
+	key := adviceKey(sc, cg)
 	v, hit, err := s.doCached(key, cached, src, func() (any, int64, error) {
 		if cached {
 			if advice, ok := s.storeLoadAdvice(key, cg.g); ok {
@@ -282,33 +297,10 @@ func (s *Server) decodeCold(sc *schemaEntry, cg *cachedGraph, advice local.Advic
 	var sol *lcl.Solution
 	var stats local.Stats
 	if sc.Compile != nil {
-		tableKey := "table:" + cg.digest + ":" + sc.Name + "@" + sc.Params + ":" + advDigest
-		tv, _, err := s.doCached(tableKey, cached, src, func() (any, int64, error) {
-			if cached {
-				if table, ok := s.storeLoadTable(tableKey, sc); ok {
-					return table, tableSize(table), nil
-				}
-			}
-			s.engineComputes.Add(1)
-			compileStart := time.Now()
-			table, err := sc.Compile(cg.g, advice)
-			s.engineComputeNanos.Add(time.Since(compileStart).Nanoseconds())
-			if err != nil {
-				return nil, 0, errf(http.StatusUnprocessableEntity, "uncompilable",
-					"%s decoder compilation: %v", sc.Name, err)
-			}
-			if cached && sc.TableEncode != nil {
-				var buf bytes.Buffer
-				if err := table.SaveBinary(&buf, sc.TableEncode); err == nil {
-					s.storePut(tableKey, persist.KindTable, buf.Bytes())
-				}
-			}
-			return table, tableSize(table), nil
-		})
+		table, err := s.resolveTable(sc, cg, advice, advDigest, cached, src)
 		if err != nil {
 			return nil, err
 		}
-		table := tv.(*eth.Table)
 		art.tableEntries = len(table.Entries)
 		outputs, st, err := table.Run(cg.g, advice)
 		if err != nil {
@@ -338,6 +330,50 @@ func (s *Server) decodeCold(sc *schemaEntry, cg *cachedGraph, advice local.Advic
 	art.sol = sol
 	art.stats = stats
 	return art, nil
+}
+
+// resolveTable compiles (or recalls) the schema's decoder table for (graph,
+// advice), through the same LRU → store → engine layering as encodeAdvice.
+// It is shared by the decode path and the artifact-export endpoint of the
+// cluster tier, so a replication pull resolves the identical table object a
+// decode would.
+func (s *Server) resolveTable(sc *schemaEntry, cg *cachedGraph, advice local.Advice, advDigest string, cached bool, src string) (*eth.Table, error) {
+	tableKey := tableKey(sc, cg, advDigest)
+	tv, _, err := s.doCached(tableKey, cached, src, func() (any, int64, error) {
+		if cached {
+			if table, ok := s.storeLoadTable(tableKey, sc); ok {
+				return table, tableSize(table), nil
+			}
+		}
+		s.engineComputes.Add(1)
+		compileStart := time.Now()
+		table, err := sc.Compile(cg.g, advice)
+		s.engineComputeNanos.Add(time.Since(compileStart).Nanoseconds())
+		if err != nil {
+			return nil, 0, errf(http.StatusUnprocessableEntity, "uncompilable",
+				"%s decoder compilation: %v", sc.Name, err)
+		}
+		if cached && sc.TableEncode != nil {
+			var buf bytes.Buffer
+			if err := table.SaveBinary(&buf, sc.TableEncode); err == nil {
+				s.storePut(tableKey, persist.KindTable, buf.Bytes())
+			}
+		}
+		return table, tableSize(table), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tv.(*eth.Table), nil
+}
+
+// adviceKey/tableKey build the §7 digest-derived artifact keys.
+func adviceKey(sc *schemaEntry, cg *cachedGraph) string {
+	return "advice:" + cg.digest + ":" + sc.Name + "@" + sc.Params
+}
+
+func tableKey(sc *schemaEntry, cg *cachedGraph, advDigest string) string {
+	return "table:" + cg.digest + ":" + sc.Name + "@" + sc.Params + ":" + advDigest
 }
 
 // tableSize estimates a compiled table's footprint: keys plus boxed outputs.
@@ -641,6 +677,7 @@ func (s *Server) handleHealthz() any {
 // operational counters, embedded by scripts/bench.sh under the "serve" key
 // of BENCH_*.json.
 type StatsResponse struct {
+	Role         string                          `json:"role"`
 	UptimeNanos  int64                           `json:"uptime_nanos"`
 	Inflight     int64                           `json:"inflight"`
 	MaxInflight  int                             `json:"max_inflight"`
@@ -672,6 +709,7 @@ func (s *Server) handleStats() any {
 		total += n
 	}
 	resp := &StatsResponse{
+		Role:         s.cfg.Role,
 		UptimeNanos:  time.Since(s.start).Nanoseconds(),
 		Inflight:     s.inflight.Load(),
 		MaxInflight:  s.cfg.MaxInflight,

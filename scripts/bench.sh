@@ -27,6 +27,14 @@
 # artifact-level split (store load_nanos vs engine_compute_nanos), whose
 # ratio is the cold-start-recovery speedup of the persistent store.
 #
+# A "cluster" section records the digest-routed shard fleet: `locad
+# loadgen -cluster` spawns a router + N shard processes per point
+# (N = 1,2,4,8), measures routed cold/warm throughput, and embeds the
+# router's stats scrape (forwards, replica hits, failovers, per-shard
+# ownership counts). The section records the host CPU count so the
+# regression gate can tell a true scaling regression from a host that
+# simply lacks the cores (DESIGN.md decision 9).
+#
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
@@ -97,6 +105,16 @@ kill -TERM "$serve_pid" && wait "$serve_pid"
 serve_pid=
 echo "serving-layer restart-recovery probe collected"
 
+# Cluster sweep: routed cold/warm throughput at 1/2/4/8 shards via the
+# digest-routed shard fleet (router + shard child processes per point),
+# with the router stats scrape (forwards, replica hits, failovers) embedded
+# per point. The report records the host's CPU count — the regression
+# gate's scaling floor is hardware-aware (DESIGN.md decision 9).
+cluster_json="$workdir/cluster.json"
+"$locad_bin" loadgen -cluster -cluster-shards 1,2,4,8 -schema mis -graph cycle -n 256 \
+    -duration 2s -json >"$cluster_json"
+echo "cluster shard sweep collected"
+
 # Splice the restart probe into the serve report as its "restart" key,
 # preserving the first-line-"{" / last-line-"}" shape embed() expects.
 merged="$workdir/serve_merged.json"
@@ -108,7 +126,7 @@ merged="$workdir/serve_merged.json"
 } > "$merged"
 serve_json="$merged"
 
-awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" '
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -142,6 +160,7 @@ END {
     printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"race_equivalence_seconds\": %s,\n", date, cpu, race_seconds
     embed(expfile, "experiments")
     embed(servefile, "serve")
+    embed(clusterfile, "cluster")
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"

@@ -27,6 +27,12 @@ type benchReport struct {
 			RecomputeOverRestart float64 `json:"recompute_over_restart"`
 		} `json:"restart"`
 	} `json:"serve"`
+	Msgred *struct {
+		MessageReduction float64 `json:"message_reduction"`
+		ByteReduction    float64 `json:"byte_reduction"`
+		RoundOverhead    float64 `json:"round_overhead"`
+		OutputsMatch     bool    `json:"outputs_match"`
+	} `json:"msgred"`
 	Cluster *struct {
 		CPUs          int     `json:"cpus"`
 		ColdScaling4x float64 `json:"cold_scaling_4x"`
@@ -156,6 +162,27 @@ func TestBenchRegression(t *testing.T) {
 		t.Logf("batch throughput: %.0f items/s (%s)", b.ItemsPerSecond, path)
 		if b.ItemsPerSecond < 100_000 {
 			t.Errorf("batch throughput %.0f items/s is below the 100k floor (%s)", b.ItemsPerSecond, path)
+		}
+	}
+
+	// Frugal-engine floors: the recorded 4096-grid flood comparison must
+	// show the skeleton simulation cutting transport messages at least 3x
+	// at no more than 2x round overhead, with bit-identical outputs — the
+	// headline contract of the frugal engine. Byte reduction is logged but
+	// not gated (it is workload-shaped; see the E10 gnp row).
+	if m := report.Msgred; m == nil {
+		t.Logf("baseline %s has no \"msgred\" record; re-run scripts/bench.sh to gate the frugal engine", path)
+	} else {
+		t.Logf("frugal engine: %.1fx messages, %.1fx bytes at %.2fx rounds, outputs match: %v (%s)",
+			m.MessageReduction, m.ByteReduction, m.RoundOverhead, m.OutputsMatch, path)
+		if !m.OutputsMatch {
+			t.Errorf("recorded msgred run had diverging engine outputs (%s)", path)
+		}
+		if m.MessageReduction < 3 {
+			t.Errorf("frugal message reduction %.1fx is below the 3x floor (%s)", m.MessageReduction, path)
+		}
+		if m.RoundOverhead > 2 {
+			t.Errorf("frugal round overhead %.2fx exceeds the 2x ceiling (%s)", m.RoundOverhead, path)
 		}
 	}
 

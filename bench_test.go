@@ -663,6 +663,11 @@ func BenchmarkEngineScheduler4096(b *testing.B) { benchEngine4096(b, local.Run) 
 
 func BenchmarkEngineGoroutine4096(b *testing.B) { benchEngine4096(b, local.RunGoroutine) }
 
+// BenchmarkEngineFrugal4096 times the skeleton-simulating engine on the same
+// flood workload; the delta over BenchmarkEngineScheduler4096 is the cost of
+// skeleton construction plus per-round change-suppression accounting.
+func BenchmarkEngineFrugal4096(b *testing.B) { benchEngine4096(b, local.RunFrugal) }
+
 // BenchmarkEngineSchedulerWorkers sweeps explicit worker counts on the
 // 4096-node grid; outputs and stats are identical across all sub-benchmarks
 // by the scheduler's determinism contract.

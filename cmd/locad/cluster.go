@@ -55,6 +55,10 @@ func cmdCluster(args []string) error {
 		return err
 	}
 
+	// The defer covers every exit path — clean shutdown, router bind
+	// failure, mid-spawn failure — so no shard outlives the cluster
+	// process. SIGTERM goes out to all shards first, then each is reaped
+	// within a shared grace budget and SIGKILLed if it ignores the TERM.
 	procs := make([]*shardProc, 0, *shards)
 	defer func() {
 		for _, p := range procs {
@@ -62,8 +66,9 @@ func cmdCluster(args []string) error {
 				p.cmd.Process.Signal(syscall.SIGTERM)
 			}
 		}
+		deadline := time.Now().Add(*grace)
 		for _, p := range procs {
-			p.cmd.Wait() // a shard killed externally reports an error; that's fine
+			waitOrKill(p.cmd, time.Until(deadline))
 		}
 	}()
 
@@ -144,7 +149,7 @@ func cmdCluster(args []string) error {
 // spawnShard starts one `locad serve` child and waits for its listen line
 // to learn the bound address.
 func spawnShard(exe, name string, args []string) (*shardProc, error) {
-	cmd, addr, err := spawnAwaitLine(exe, args, "locad serve: listening on ", 30*time.Second)
+	cmd, addr, err := spawnAwaitLine(exe, args, "locad serve: listening on ", 30*time.Second, false)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -155,9 +160,20 @@ func spawnShard(exe, name string, args []string) (*shardProc, error) {
 // line with the given prefix, returning the remainder (the bound address).
 // The child's stderr passes through; its stdout keeps draining after the
 // match so the child never blocks on a full pipe.
-func spawnAwaitLine(exe string, args []string, prefix string, timeout time.Duration) (*exec.Cmd, string, error) {
+//
+// With ownGroup the child leads a fresh process group that its own children
+// inherit (a spawned `locad cluster` and its shards), so the last-resort
+// SIGKILL in terminateProc reaches the whole tree instead of orphaning
+// grandchildren. On the error paths here the child is terminated
+// gracefully — SIGTERM, a reaping grace period, then SIGKILL — rather than
+// the old immediate Kill, which gave a half-started cluster no chance to
+// run its own shard-teardown defer.
+func spawnAwaitLine(exe string, args []string, prefix string, timeout time.Duration, ownGroup bool) (*exec.Cmd, string, error) {
 	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
+	if ownGroup {
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return nil, "", err
@@ -183,14 +199,59 @@ func spawnAwaitLine(exe string, args []string, prefix string, timeout time.Durat
 	select {
 	case addr, ok := <-addrCh:
 		if !ok || addr == "" {
-			cmd.Process.Kill()
-			cmd.Wait()
+			terminateProc(cmd, 5*time.Second)
 			return nil, "", fmt.Errorf("child exited before printing %q", prefix)
 		}
 		return cmd, addr, nil
 	case <-time.After(timeout):
-		cmd.Process.Kill()
-		cmd.Wait()
+		terminateProc(cmd, 5*time.Second)
 		return nil, "", fmt.Errorf("no %q line within %s", prefix, timeout)
 	}
+}
+
+// terminateProc ends a spawned child gracefully: SIGTERM (to its process
+// group when it leads one, so grandchildren hear it too), a bounded wait
+// for the exit, then SIGKILL escalation. Reaps the child; callers must not
+// Wait again.
+func terminateProc(cmd *exec.Cmd, grace time.Duration) {
+	if cmd.Process == nil {
+		return
+	}
+	signalProc(cmd, syscall.SIGTERM)
+	waitOrKill(cmd, grace)
+}
+
+// waitOrKill reaps a child that has already been told to exit, escalating
+// to SIGKILL (group-wide when the child leads a group) if it is still
+// running after the grace period.
+func waitOrKill(cmd *exec.Cmd, grace time.Duration) {
+	if cmd.Process == nil {
+		return
+	}
+	if grace < 0 {
+		grace = 0
+	}
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait() // a child killed externally reports an error; that's fine
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		signalProc(cmd, syscall.SIGKILL)
+		<-done
+	}
+}
+
+// signalProc signals the child's process group when it was spawned as a
+// group leader (falling back to the process if the group signal fails), or
+// just the process otherwise.
+func signalProc(cmd *exec.Cmd, sig syscall.Signal) {
+	if cmd.SysProcAttr != nil && cmd.SysProcAttr.Setpgid {
+		if syscall.Kill(-cmd.Process.Pid, sig) == nil {
+			return
+		}
+	}
+	cmd.Process.Signal(sig)
 }

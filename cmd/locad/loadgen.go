@@ -462,7 +462,11 @@ func runPhaseBodies(client *http.Client, url string, bodies [][]byte, concurrenc
 		rep.P50Nanos = pctl(all, 50)
 		rep.P95Nanos = pctl(all, 95)
 		rep.P99Nanos = pctl(all, 99)
-		rep.RPS = float64(len(all)) / d.Seconds()
+		if d > 0 {
+			// A zero-duration phase must report 0, not +Inf — the JSON
+			// report and the bench-regression gate both choke on Inf.
+			rep.RPS = float64(len(all)) / d.Seconds()
+		}
 	}
 	return rep, nil
 }

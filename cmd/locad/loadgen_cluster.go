@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 )
 
@@ -57,7 +56,7 @@ func runClusterSweep(schema, family string, n int, shardCounts []int, seeds, con
 			"cluster", "-addr", "127.0.0.1:0",
 			"-shards", fmt.Sprint(shards),
 			"-hot-threshold", fmt.Sprint(hotThreshold),
-		}, "locad cluster: router listening on ", 60*time.Second)
+		}, "locad cluster: router listening on ", 60*time.Second, true)
 		if err != nil {
 			return fmt.Errorf("starting %d-shard cluster: %w", shards, err)
 		}
@@ -80,8 +79,10 @@ func runClusterSweep(schema, family string, n int, shardCounts []int, seeds, con
 			}
 			return p, nil
 		}()
-		cmd.Process.Signal(syscall.SIGTERM)
-		cmd.Wait()
+		// Graceful fleet teardown on success AND failure: TERM lets the
+		// cluster process run its shard-teardown defer; if it hangs, the
+		// group-wide KILL escalation still reaps the shards with it.
+		terminateProc(cmd, 15*time.Second)
 		if err != nil {
 			return err
 		}

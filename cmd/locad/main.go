@@ -63,6 +63,8 @@ func run(args []string) error {
 		return cmdGraphInfo(args[1:])
 	case "engine":
 		return cmdEngine(args[1:])
+	case "msgred":
+		return cmdMsgred(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
 	case "fault":
@@ -108,7 +110,11 @@ subcommands:
   graphinfo         print a generated graph's parameters
   engine            run the radius-T view-gathering reference protocol on a
                     chosen execution engine (-engine {ball,message,goroutine,
-                    sequential} -workers <w>) and report rounds/messages/time
+                    sequential,frugal} -workers <w>) and report rounds/
+                    messages/time
+  msgred            measure the frugal engine's message/byte reduction vs the
+                    stock scheduler on a flood workload (-graph, -n, -rho,
+                    -json)
   trace             run the engine workload with metrics attached and write a
                     JSONL per-round trace (-o <file>, -profile <cpu.pprof>)
   fault             inject faults (-class {flip,truncate,reassign,crash}) into
@@ -402,7 +408,7 @@ func cmdEngine(args []string) error {
 	fs := flag.NewFlagSet("engine", flag.ContinueOnError)
 	kind, n, seed := graphFlags(fs)
 	radius := fs.Int("radius", 2, "view radius T of the reference protocol")
-	engine := fs.String("engine", "message", "execution engine: ball, message (sharded scheduler), goroutine, sequential")
+	engine := fs.String("engine", "message", "execution engine: ball, message (sharded scheduler), goroutine, sequential, frugal (skeleton transport)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -428,8 +434,10 @@ func cmdEngine(args []string) error {
 		outputs, stats, err = local.RunGoroutine(g, &local.GatherProtocol{Radius: *radius, Decide: decide}, nil)
 	case "sequential":
 		outputs, stats, err = local.RunSequential(g, &local.GatherProtocol{Radius: *radius, Decide: decide}, nil)
+	case "frugal":
+		outputs, stats, err = local.RunFrugalConfig(g, &local.GatherProtocol{Radius: *radius, Decide: decide}, nil, local.RunConfig{Workers: w})
 	default:
-		return fmt.Errorf("unknown engine %q (have ball, message, goroutine, sequential)", *engine)
+		return fmt.Errorf("unknown engine %q (have ball, message, goroutine, sequential, frugal)", *engine)
 	}
 	if err != nil {
 		return err

@@ -3,10 +3,31 @@ package main
 import (
 	"localadvice/internal/persist"
 
+	"fmt"
+	"io"
+	"net"
 	"os"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
+
+// TestMain doubles as the locad binary for subprocess-spawning subcommands:
+// `locad cluster` re-executes os.Executable() as its shard children, and in
+// tests that executable is this test binary. Dispatch those argv shapes
+// straight into run() so spawned children behave like the real CLI.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && (os.Args[1] == "serve" || os.Args[1] == "cluster") {
+		if err := run(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunSubcommands(t *testing.T) {
 	tests := []struct {
@@ -24,6 +45,9 @@ func TestRunSubcommands(t *testing.T) {
 		{"engine ball", []string{"engine", "-graph", "cycle", "-n", "64", "-engine", "ball"}},
 		{"engine goroutine", []string{"engine", "-graph", "torus", "-n", "36", "-engine", "goroutine"}},
 		{"engine sequential", []string{"engine", "-graph", "grid", "-n", "49", "-engine", "sequential"}},
+		{"engine frugal", []string{"engine", "-graph", "grid", "-n", "100", "-engine", "frugal"}},
+		{"msgred", []string{"msgred", "-graph", "cycle", "-n", "64"}},
+		{"msgred json", []string{"msgred", "-graph", "grid", "-n", "49", "-rho", "1", "-json"}},
 		{"prove mis", []string{"prove", "-graph", "cycle", "-n", "150", "-problem", "mis", "-radius", "25"}},
 		{"help", []string{"help"}},
 	}
@@ -97,7 +121,7 @@ func TestHead(t *testing.T) {
 func TestUsageMentionsAllSubcommands(t *testing.T) {
 	// usage writes to stderr; just ensure the command table stays in sync
 	// by checking run() dispatches everything usage lists.
-	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "prove", "verifyproof"} {
+	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "msgred", "prove", "verifyproof"} {
 		// Dispatching with bad flags still proves the subcommand exists:
 		// flag parse errors differ from "unknown subcommand".
 		err := run([]string{sub, "-definitely-not-a-flag"})
@@ -135,6 +159,69 @@ func TestDotGenLoad(t *testing.T) {
 	}
 	if err := run([]string{"load"}); err == nil {
 		t.Error("load without -i accepted")
+	}
+}
+
+// TestClusterKillsShardsOnBindConflict forces `locad cluster` down its
+// mid-spawn error path — the shard comes up fine, then the router's own
+// net.Listen hits an occupied address — and asserts the already-spawned
+// shard process does not outlive the failed command. Before the teardown
+// fix, error paths leaked live shard children.
+func TestClusterKillsShardsOnBindConflict(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// cmdCluster prints "locad cluster: shard0 pid N at URL" on stdout;
+	// capture it through a pipe to learn the spawned pid.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := run([]string{"cluster", "-addr", l.Addr().String(), "-shards", "1", "-grace", "3s"})
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+
+	if runErr == nil {
+		t.Fatalf("cluster on occupied %s succeeded, want bind error; output:\n%s", l.Addr(), out)
+	}
+
+	var pids []int
+	for _, line := range strings.Split(string(out), "\n") {
+		rest, ok := strings.CutPrefix(line, "locad cluster: shard")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) >= 3 && fields[1] == "pid" {
+			pid, err := strconv.Atoi(fields[2])
+			if err != nil {
+				t.Fatalf("unparseable pid in %q: %v", line, err)
+			}
+			pids = append(pids, pid)
+		}
+	}
+	if len(pids) != 1 {
+		t.Fatalf("expected 1 shard pid line, got %d; output:\n%s", len(pids), out)
+	}
+
+	// The teardown defer reaps each shard before run() returns, so the pid
+	// must already be gone; poll briefly to absorb scheduler lag.
+	for _, pid := range pids {
+		deadline := time.Now().Add(5 * time.Second)
+		for syscall.Kill(pid, 0) == nil {
+			if time.Now().After(deadline) {
+				syscall.Kill(pid, syscall.SIGKILL)
+				t.Fatalf("shard pid %d still alive after cluster bind failure", pid)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
 	}
 }
 

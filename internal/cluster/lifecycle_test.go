@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakClient is a keep-alive-free forwarding client so health-check
+// connections do not park idle transport goroutines that would confuse the
+// goroutine accounting below.
+func leakClient() *http.Client {
+	return &http.Client{
+		Timeout:   time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+// waitForGoroutines polls until the process goroutine count drops back to
+// the baseline (leaked tickers never exit, so a stable excess is a leak).
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not return to baseline: %d running, baseline %d — health loop leaked", n, base)
+}
+
+// TestRouterShutdownStopsHealthLoop pins the health-ticker lifecycle on the
+// clean path: Serve starts the loop, Shutdown must stop it (stop channel +
+// ticker.Stop), and the goroutine count returns to its pre-router baseline.
+func TestRouterShutdownStopsHealthLoop(t *testing.T) {
+	f := newTestFleet(t, 2)
+	base := runtime.NumGoroutine()
+	rt := newTestRouter(t, f, func(c *Config) {
+		c.HealthInterval = 10 * time.Millisecond
+		c.Client = leakClient()
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Serve(l) }()
+	// Let the ticker fire a few health checks before tearing down, so the
+	// test exercises a genuinely running loop rather than one that never
+	// started.
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown, want nil", err)
+	}
+	rt.Close() // idempotent: a second stop must not panic on the closed channel
+	waitForGoroutines(t, base)
+}
+
+// TestRouterServeErrorStopsHealthLoop pins the error path that used to
+// leak: when Serve fails immediately (closed or conflicted listener) the
+// health loop it just started must be stopped too.
+func TestRouterServeErrorStopsHealthLoop(t *testing.T) {
+	f := newTestFleet(t, 1)
+	base := runtime.NumGoroutine()
+	rt := newTestRouter(t, f, func(c *Config) {
+		c.HealthInterval = 10 * time.Millisecond
+		c.Client = leakClient()
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := rt.Serve(l); err == nil {
+		t.Fatal("Serve on a closed listener returned nil")
+	}
+	waitForGoroutines(t, base)
+}

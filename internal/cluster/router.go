@@ -159,8 +159,12 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.Ser
 func (rt *Router) Metrics() *obs.ClusterMetrics { return &rt.metrics }
 
 // Serve accepts connections on l until Shutdown, running the shard
-// health-check loop alongside. Returns nil after a graceful shutdown.
+// health-check loop alongside. Returns nil after a graceful shutdown. The
+// health loop is stopped on every exit path — including a Serve error such
+// as a closed or conflicted listener — so an aborted Serve never leaks the
+// ticker goroutine.
 func (rt *Router) Serve(l net.Listener) error {
+	defer rt.Close()
 	go rt.healthLoop()
 	srv := &http.Server{Handler: rt, ReadHeaderTimeout: 10 * time.Second}
 	rt.srvMu.Lock()
@@ -173,9 +177,15 @@ func (rt *Router) Serve(l net.Listener) error {
 	return err
 }
 
+// Close stops the health-check loop (idempotent, safe before/without
+// Serve). It does not drain in-flight requests; use Shutdown for that.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+}
+
 // Shutdown stops the health loop and drains the embedded http.Server.
 func (rt *Router) Shutdown(ctx context.Context) error {
-	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.Close()
 	rt.srvMu.Lock()
 	srv := rt.httpSrv
 	rt.srvMu.Unlock()

@@ -1,0 +1,137 @@
+package graph
+
+// Skeleton is a sparse connected overlay used by the bandwidth-frugal
+// engine (local.RunFrugal): a ρ-dominating set of cluster centers, a BFS
+// tree of depth <= ρ inside every cluster, and one representative edge per
+// adjacent cluster pair. Following Bitton–Emek–Izumi–Kutten ("Message
+// Reduction in the LOCAL Model is a Free Lunch"), any LOCAL protocol can be
+// simulated by aggregating each round's traffic along such a skeleton:
+// intra-cluster messages ride the tree through the center, inter-cluster
+// bundles cross the single representative edge, and the total edge count —
+// TreeEdges + CrossEdges — is o(m) on dense graphs while the round overhead
+// stays a constant 2ρ+1.
+//
+// All arrays are indexed by node. The construction is deterministic for a
+// given graph (centers are elected greedily by node index), so every worker
+// count and every rebuild sees the same skeleton.
+type Skeleton struct {
+	// Rho is the cluster radius ρ: every node is within distance ρ of its
+	// cluster's center.
+	Rho int
+	// Centers lists the elected center node of each cluster, in cluster
+	// order. Centers are pairwise more than ρ apart (greedy maximality).
+	Centers []int32
+	// Cluster assigns every node its cluster index (Voronoi cell of the
+	// nearest center, ties broken by center election order).
+	Cluster []int32
+	// Parent is the BFS-tree parent of each node, pointing one hop toward
+	// its center; -1 at centers (and in an empty graph).
+	Parent []int32
+	// Depth is each node's distance to its center along the tree (<= ρ).
+	Depth []int32
+	// TreeEdges counts the intra-cluster tree edges (= n - len(Centers) on
+	// a connected graph; isolated nodes are their own centers).
+	TreeEdges int
+	// CrossEdges counts the representative inter-cluster edges: one per
+	// unordered pair of adjacent clusters.
+	CrossEdges int
+}
+
+// Edges returns the skeleton's total edge count (tree + representative
+// cross edges) — the o(m) sparsity the frugal engine's traffic rides on.
+func (sk *Skeleton) Edges() int { return sk.TreeEdges + sk.CrossEdges }
+
+// BuildSkeleton constructs the radius-ρ skeleton of g. ρ < 1 clamps to 1.
+// The scratch may be nil (one is allocated); passing a reused scratch makes
+// repeated builds allocation-light. Work is O(n + m) for the Voronoi
+// assignment plus O(Σ|ball(c, ρ)|) for the greedy center election.
+//
+// The construction reuses the bounded-BFS machinery of the view engine:
+// centers are elected greedily in node-index order (a node becomes a center
+// iff no earlier center covers it within ρ, checked by BFSWithin), then a
+// multi-source BFS seeded with all centers — the same idiom as the growth
+// package's Voronoi assignment — grows the cluster trees, first discoverer
+// winning ties.
+func BuildSkeleton(g *Graph, rho int, s *BFSScratch) *Skeleton {
+	if rho < 1 {
+		rho = 1
+	}
+	n := g.N()
+	sk := &Skeleton{
+		Rho:     rho,
+		Cluster: make([]int32, n),
+		Parent:  make([]int32, n),
+		Depth:   make([]int32, n),
+	}
+	for v := range sk.Cluster {
+		sk.Cluster[v] = -1
+		sk.Parent[v] = -1
+	}
+	if n == 0 {
+		return sk
+	}
+	if s == nil {
+		s = NewBFSScratch()
+	}
+
+	// Greedy ρ-dominating set in node-index order: deterministic, maximal
+	// (every node is covered), and independent (no center covers another,
+	// so centers are pairwise > ρ apart).
+	covered := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if covered[v] {
+			continue
+		}
+		sk.Centers = append(sk.Centers, int32(v))
+		for _, u := range g.BFSWithin(v, rho, s) {
+			covered[u] = true
+		}
+	}
+
+	// Multi-source Voronoi BFS from all centers at once: each node joins
+	// the cluster of the nearest center (first discoverer wins — seeds are
+	// enqueued in center-election order, so the assignment is
+	// deterministic), recording its tree parent and depth. Every node is
+	// within ρ of some center, so every node is assigned with Depth <= ρ.
+	queue := make([]int32, 0, n)
+	for ci, c := range sk.Centers {
+		sk.Cluster[c] = int32(ci)
+		queue = append(queue, c)
+	}
+	csr := g.Snapshot()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, w := range csr.Neighbors(int(u)) {
+			if sk.Cluster[w] != -1 {
+				continue
+			}
+			sk.Cluster[w] = sk.Cluster[u]
+			sk.Parent[w] = u
+			sk.Depth[w] = sk.Depth[u] + 1
+			sk.TreeEdges++
+			queue = append(queue, w)
+		}
+	}
+
+	// One representative edge per unordered pair of adjacent clusters.
+	seen := make(map[int64]struct{})
+	for v := 0; v < n; v++ {
+		cv := sk.Cluster[v]
+		for _, w := range csr.Neighbors(v) {
+			cw := sk.Cluster[w]
+			if cw == cv || int32(v) > w {
+				continue
+			}
+			a, b := cv, cw
+			if a > b {
+				a, b = b, a
+			}
+			key := int64(a)<<32 | int64(b)
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				sk.CrossEdges++
+			}
+		}
+	}
+	return sk
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// skeletonGraphs is the family sweep the skeleton properties are checked
+// over: the same spread of shapes as the engine-equivalence tests, plus
+// degenerate cases (empty graph, isolated nodes).
+func skeletonGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	reg, err := RandomRegular(64, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Graph{
+		"cycle":    Cycle(40),
+		"path":     Path(23),
+		"grid":     Grid2D(8, 9),
+		"torus":    Torus2D(5, 7),
+		"tree":     CompleteBinaryTree(5),
+		"star":     Star(9),
+		"regular":  reg,
+		"gnp":      RandomGNP(48, 0.1, rng),
+		"isolated": New(5),
+		"empty":    New(0),
+	}
+}
+
+// TestBuildSkeletonInvariants checks the structural contract of the
+// skeleton on every family and several radii: clusters partition the nodes,
+// every node sits within ρ of its own center along real tree edges, centers
+// are pairwise more than ρ apart, and the edge counts match the arrays.
+func TestBuildSkeletonInvariants(t *testing.T) {
+	s := NewBFSScratch()
+	for name, g := range skeletonGraphs(t) {
+		for _, rho := range []int{1, 2, 3} {
+			sk := BuildSkeleton(g, rho, s)
+			n := g.N()
+			if len(sk.Cluster) != n || len(sk.Parent) != n || len(sk.Depth) != n {
+				t.Fatalf("%s ρ=%d: array lengths %d/%d/%d, want %d",
+					name, rho, len(sk.Cluster), len(sk.Parent), len(sk.Depth), n)
+			}
+			treeEdges := 0
+			for v := 0; v < n; v++ {
+				c := sk.Cluster[v]
+				if c < 0 || int(c) >= len(sk.Centers) {
+					t.Fatalf("%s ρ=%d: node %d unassigned (cluster %d)", name, rho, v, c)
+				}
+				if sk.Depth[v] > int32(rho) {
+					t.Fatalf("%s ρ=%d: node %d depth %d exceeds ρ", name, rho, v, sk.Depth[v])
+				}
+				if p := sk.Parent[v]; p >= 0 {
+					treeEdges++
+					if sk.Cluster[p] != c {
+						t.Fatalf("%s ρ=%d: node %d parent %d in a different cluster", name, rho, v, p)
+					}
+					if sk.Depth[p] != sk.Depth[v]-1 {
+						t.Fatalf("%s ρ=%d: node %d depth %d but parent depth %d",
+							name, rho, v, sk.Depth[v], sk.Depth[p])
+					}
+					real := false
+					for _, w := range g.Neighbors(v) {
+						if int32(w) == p {
+							real = true
+						}
+					}
+					if !real {
+						t.Fatalf("%s ρ=%d: tree edge %d->%d is not a graph edge", name, rho, v, p)
+					}
+				} else if int(sk.Centers[c]) != v {
+					t.Fatalf("%s ρ=%d: non-center node %d has no parent", name, rho, v)
+				}
+				// Walking parents reaches the center in exactly Depth hops.
+				x, hops := v, 0
+				for sk.Parent[x] >= 0 {
+					x = int(sk.Parent[x])
+					hops++
+				}
+				if x != int(sk.Centers[c]) || hops != int(sk.Depth[v]) {
+					t.Fatalf("%s ρ=%d: node %d parent walk ends at %d after %d hops (center %d, depth %d)",
+						name, rho, v, x, hops, sk.Centers[c], sk.Depth[v])
+				}
+			}
+			if treeEdges != sk.TreeEdges {
+				t.Fatalf("%s ρ=%d: TreeEdges %d, counted %d", name, rho, sk.TreeEdges, treeEdges)
+			}
+			// Centers are pairwise more than ρ apart (greedy independence).
+			for i, a := range sk.Centers {
+				ball := g.BFSWithin(int(a), rho, s)
+				for _, u := range ball {
+					for j, b := range sk.Centers {
+						if j != i && u == b {
+							t.Fatalf("%s ρ=%d: centers %d and %d within distance ρ", name, rho, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildSkeletonDeterministic pins that rebuilds (with fresh and reused
+// scratch) produce identical skeletons — the frugal engine's accounting
+// depends on this.
+func TestBuildSkeletonDeterministic(t *testing.T) {
+	s := NewBFSScratch()
+	for name, g := range skeletonGraphs(t) {
+		a := BuildSkeleton(g, 2, s)
+		b := BuildSkeleton(g, 2, nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: skeleton differs between builds:\n%+v\nvs\n%+v", name, a, b)
+		}
+	}
+}
+
+// TestSkeletonSparsity checks the point of the construction: on the dense
+// families the skeleton has strictly fewer edges than the graph, and cross
+// edges are bounded by cluster-pair adjacency, not by m.
+func TestSkeletonSparsity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"grid", Grid2D(16, 16)},
+		{"torus", Torus2D(12, 12)},
+	} {
+		g := tc.g
+		sk := BuildSkeleton(g, 2, nil)
+		if sk.Edges() >= g.M() {
+			t.Errorf("%s: skeleton has %d edges, graph has %d — no sparsification", tc.name, sk.Edges(), g.M())
+		}
+		c := len(sk.Centers)
+		if sk.CrossEdges > c*(c-1)/2 {
+			t.Errorf("%s: %d cross edges exceed the %d cluster pairs", tc.name, sk.CrossEdges, c*(c-1)/2)
+		}
+	}
+}

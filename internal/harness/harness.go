@@ -89,6 +89,7 @@ func All() []Experiment {
 		{ID: "E7", Title: "Δ-edge-coloring bipartite Δ-regular graphs, Δ = 2^k (Cor 5.9)", Run: RunE7},
 		{ID: "E8", Title: "Composability and arbitrarily sparse advice (Lem 1/2, Def 3/4)", Run: RunE8},
 		{ID: "E9", Title: "Fault injection: detection vs silent invalid outputs", Run: RunE9},
+		{ID: "E10", Title: "Frugal engine: skeleton message reduction vs stock scheduler", Run: RunE10},
 	}
 }
 

@@ -38,6 +38,12 @@ type RunConfig struct {
 	// is a nil check — no allocations, no clock reads — and outputs are
 	// byte-identical to an uninstrumented build.
 	Metrics *obs.Collector
+
+	// FrugalRadius is the skeleton cluster radius ρ used by RunFrugalConfig;
+	// values <= 0 select the package default (defaultFrugalRadius). The
+	// other engines ignore it. Larger ρ means fewer, deeper clusters —
+	// fewer skeleton edges but a larger 2ρ+1 round overhead.
+	FrugalRadius int
 }
 
 // normalize resolves the configured worker count for an n-node run. This

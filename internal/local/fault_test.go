@@ -96,6 +96,74 @@ func TestCrashAgreementAcrossEngines(t *testing.T) {
 			}
 		}
 	}
+
+	// The frugal engine runs the same sweep, so its outputs — including the
+	// typed crash error — must match exactly; only its Stats (skeleton
+	// transport, forwarding overhead) legitimately differ.
+	frugalOut, _, err := RunFrugalConfig(g, protocol(), nil, cfg)
+	if err != nil {
+		t.Fatalf("frugal: %v", err)
+	}
+	fe, ok := frugalOut[5].(fault.CrashError)
+	if !ok || fe != crashErr {
+		t.Fatalf("frugal crashed node output = %#v, want %+v", frugalOut[5], crashErr)
+	}
+	for v := range ref.outputs {
+		if fmt.Sprint(frugalOut[v]) != fmt.Sprint(ref.outputs[v]) {
+			t.Fatalf("frugal and %s disagree at node %d: %v vs %v",
+				ref.name, v, frugalOut[v], ref.outputs[v])
+		}
+	}
+
+	// The ball engine models crashes without per-round message flow, so only
+	// the typed error is comparable across the engine split.
+	ballOut, _, err := TryRunBallConfig(g, nil, 3, gatherDecide, cfg)
+	if err != nil {
+		t.Fatalf("ball: %v", err)
+	}
+	be, ok := ballOut[5].(fault.CrashError)
+	if !ok || be != crashErr {
+		t.Fatalf("ball crashed node output = %#v, want %+v", ballOut[5], crashErr)
+	}
+}
+
+// TestAdviceFlipAgreementAcrossEngines runs the same seeded advice-flip plan
+// through all five engines on a view-fingerprint workload and checks every
+// node's output is identical — corrupted advice must corrupt every engine
+// the same way.
+func TestAdviceFlipAgreementAcrossEngines(t *testing.T) {
+	g := graph.Cycle(24)
+	advice := make(Advice, g.N())
+	for v := range advice {
+		advice[v] = bitstr.New(1, v%2, 1)
+	}
+	cfg := RunConfig{Fault: &fault.Plan{Seed: 11, FlipRate: 0.4}}
+	const radius = 2
+	protocol := func() *GatherProtocol { return &GatherProtocol{Radius: radius, Decide: viewFingerprint} }
+
+	refOut, _, err := RunMessageConfig(g, protocol(), advice, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() ([]any, Stats, error){
+		"goroutine":  func() ([]any, Stats, error) { return RunGoroutineConfig(g, protocol(), advice, cfg) },
+		"sequential": func() ([]any, Stats, error) { return RunSequentialConfig(g, protocol(), advice, cfg) },
+		"frugal":     func() ([]any, Stats, error) { return RunFrugalConfig(g, protocol(), advice, cfg) },
+		"ball": func() ([]any, Stats, error) {
+			return TryRunBallConfig(g, advice, radius, viewFingerprint, cfg)
+		},
+	} {
+		out, _, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := range refOut {
+			if out[v] != refOut[v] {
+				t.Fatalf("%s disagrees with the scheduler at node %d under flipped advice:\n%v\nvs\n%v",
+					name, v, out[v], refOut[v])
+			}
+		}
+	}
 }
 
 // TestBallEngineCrash pins the ball engine's crash semantics: a node crashed
@@ -225,6 +293,9 @@ func TestTryVariantsRejectShortAdvice(t *testing.T) {
 	}
 	if _, _, err := RunSequential(g, protocol, short); !errors.Is(err, ErrAdviceLength) {
 		t.Errorf("RunSequential: err = %v, want ErrAdviceLength", err)
+	}
+	if _, _, err := RunFrugal(g, protocol, short); !errors.Is(err, ErrAdviceLength) {
+		t.Errorf("RunFrugal: err = %v, want ErrAdviceLength", err)
 	}
 }
 

@@ -259,6 +259,36 @@ func TestSchedulerMatchesGoroutineEngine(t *testing.T) {
 				check("Run(default)", defOut, defStats, err)
 				seqOut, seqStats, err := RunSequential(g, p, advice)
 				check("sequential", seqOut, seqStats, err)
+				// The frugal engine must produce bit-identical outputs at
+				// every worker count. Its Stats count skeleton transport and
+				// forwarding overhead instead of protocol traffic, so they
+				// are pinned against the first frugal run (worker
+				// independence) and the known 2ρ+1 round overhead rather
+				// than against the goroutine engine.
+				var frugalRef Stats
+				for i, w := range []int{-1, 1, 8} {
+					out, stats, err := RunFrugalConfig(g, p, advice, RunConfig{Workers: w})
+					engine := fmt.Sprintf("frugal(workers=%d)", w)
+					if err != nil {
+						t.Fatalf("seed %d %s/%s: %s: %v", seed, gname, pname, engine, err)
+					}
+					if i == 0 {
+						frugalRef = stats
+					} else if stats != frugalRef {
+						t.Fatalf("seed %d %s/%s: %s stats %+v, workers=-1 %+v",
+							seed, gname, pname, engine, stats, frugalRef)
+					}
+					for v := range out {
+						if out[v] != refOut[v] {
+							t.Fatalf("seed %d %s/%s node %d: %s output %v, goroutine %v",
+								seed, gname, pname, v, engine, out[v], refOut[v])
+						}
+					}
+				}
+				if want := refStats.Rounds + 2*defaultFrugalRadius + 1; frugalRef.Rounds != want {
+					t.Fatalf("seed %d %s/%s: frugal rounds %d, want %d (protocol rounds + 2ρ+1)",
+						seed, gname, pname, frugalRef.Rounds, want)
+				}
 			}
 		}
 	}

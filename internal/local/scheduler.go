@@ -82,6 +82,29 @@ func Run(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, error)
 // observable by neighbors, whose views from that round on are missing the
 // crashed node's contributions.
 func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig) ([]any, Stats, error) {
+	return runSchedulerCore(g, protocol, advice, cfg, nil)
+}
+
+// schedHook customizes the scheduler core for a transport-accounting engine
+// (today: the frugal engine). The init factory runs once, after fault
+// injection (so the skeleton is built on the faulted graph) and before the
+// first round; the closure it returns runs single-threaded after each
+// round's sweep barrier, sees the previous round's sends in cur and this
+// round's in next, and returns the transport messages and bytes the round
+// cost. When a hook is installed, Stats.Messages and the per-round
+// RoundMetric Messages/Bytes report the hook's transport numbers, and the
+// protocol's own traffic moves to LogicalMessages/LogicalBytes.
+type schedHook struct {
+	engine string
+	init   func(g *graph.Graph, pt portTable) func(round int, cur, next []Message) (msgs, bytes int64)
+}
+
+// runSchedulerCore is the sharded synchronous-round scheduler shared by
+// RunMessageConfig (nil hook) and RunFrugalConfig. The sweep, fault and
+// termination semantics are identical in both cases — a hook only observes
+// the slabs between the barrier and the swap — which is what pins the
+// frugal engine's outputs bit-identical to the stock engines.
+func runSchedulerCore(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig, hk *schedHook) ([]any, Stats, error) {
 	if err := validateAdvice(g, advice); err != nil {
 		return nil, Stats{}, err
 	}
@@ -90,6 +113,12 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 	workers := cfg.normalize(n)
 
 	pt := newPortTable(g)
+	engine := "scheduler"
+	var account func(round int, cur, next []Message) (int64, int64)
+	if hk != nil {
+		engine = hk.engine
+		account = hk.init(g, pt)
+	}
 	machines := newMachines(g, protocol, advice)
 	cur := make([]Message, pt.slots())
 	next := make([]Message, pt.slots())
@@ -109,7 +138,7 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 	measure := m.Enabled()
 	var runID int
 	if measure {
-		runID = m.BeginRun("scheduler", n)
+		runID = m.BeginRun(engine, n)
 	}
 
 	// sweepStats carries one shard's per-round aggregates back to the
@@ -177,6 +206,7 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 	}
 
 	shard := 0
+	var hookMsgs int64
 	var shardStats []sweepStats
 	var shardNanos []int64
 	if workers > 1 {
@@ -227,10 +257,25 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 				total.allDone = total.allDone && st.allDone
 			}
 		}
+		// The accounting hook runs single-threaded between the sweep
+		// barrier and the slab swap — whether or not metrics are on,
+		// because its totals feed Stats.Messages.
+		var hkSent, hkBytes int64
+		if account != nil {
+			hkSent, hkBytes = account(round, cur, next)
+			hookMsgs += hkSent
+		}
 		if measure {
-			rm := obs.RoundMetric{Engine: "scheduler", Run: runID, Round: round,
+			rm := obs.RoundMetric{Engine: engine, Run: runID, Round: round,
 				ActiveNodes: total.active, Messages: total.sent, Bytes: total.bytes,
 				WallNanos: time.Since(roundStart).Nanoseconds()}
+			if account != nil {
+				// Transport vs logical split: Messages/Bytes are what the
+				// skeleton actually carried, the protocol's own traffic
+				// moves to the Logical* fields.
+				rm.Messages, rm.Bytes = hkSent, hkBytes
+				rm.LogicalMessages, rm.LogicalBytes = total.sent, total.bytes
+			}
 			if shardNanos != nil {
 				rm.ShardNanos = append([]int64(nil), shardNanos...)
 			}
@@ -248,5 +293,9 @@ func RunMessageConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 			rounds = r
 		}
 	}
-	return outputs, Stats{Rounds: rounds, Messages: int(msgCount.Load())}, nil
+	messages := int(msgCount.Load())
+	if hk != nil {
+		messages = int(hookMsgs)
+	}
+	return outputs, Stats{Rounds: rounds, Messages: messages}, nil
 }

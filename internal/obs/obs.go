@@ -28,25 +28,36 @@ import (
 )
 
 // RoundMetric is one engine round's cost profile. Round, ActiveNodes,
-// Messages and Bytes are deterministic (identical across worker counts and
-// across the equivalent engines); WallNanos and ShardNanos are wall-clock
-// measurements.
+// Messages, Bytes and the Logical* fields are deterministic (identical
+// across worker counts and across the equivalent engines); WallNanos and
+// ShardNanos are wall-clock measurements.
+//
+// Messages and Bytes always describe the traffic the engine actually put on
+// its transport. For every stock engine that is also the protocol's logical
+// traffic, and the Logical* fields stay zero. The frugal engine
+// (local.RunFrugal) sends aggregated bundles along a sparse skeleton
+// instead, so its Messages/Bytes count skeleton traffic while
+// LogicalMessages/LogicalBytes record what the simulated protocol emitted —
+// the split is the engine's measured message reduction.
 type RoundMetric struct {
-	Engine      string  `json:"engine"`
-	Run         int     `json:"run"`
-	Round       int     `json:"round"`
-	ActiveNodes int     `json:"active_nodes"`
-	Messages    int64   `json:"messages"`
-	Bytes       int64   `json:"bytes"`
-	WallNanos   int64   `json:"wall_nanos"`
-	ShardNanos  []int64 `json:"shard_nanos,omitempty"`
+	Engine          string  `json:"engine"`
+	Run             int     `json:"run"`
+	Round           int     `json:"round"`
+	ActiveNodes     int     `json:"active_nodes"`
+	Messages        int64   `json:"messages"`
+	Bytes           int64   `json:"bytes"`
+	LogicalMessages int64   `json:"logical_messages,omitempty"`
+	LogicalBytes    int64   `json:"logical_bytes,omitempty"`
+	WallNanos       int64   `json:"wall_nanos"`
+	ShardNanos      []int64 `json:"shard_nanos,omitempty"`
 }
 
 // Deterministic returns the worker-count-independent projection of the
 // metric: the fields the cross-worker determinism tests compare.
 func (r RoundMetric) Deterministic() RoundMetric {
 	return RoundMetric{Engine: r.Engine, Run: r.Run, Round: r.Round,
-		ActiveNodes: r.ActiveNodes, Messages: r.Messages, Bytes: r.Bytes}
+		ActiveNodes: r.ActiveNodes, Messages: r.Messages, Bytes: r.Bytes,
+		LogicalMessages: r.LogicalMessages, LogicalBytes: r.LogicalBytes}
 }
 
 // Event is a counted occurrence outside the round loop: LLL resampling

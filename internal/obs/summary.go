@@ -12,11 +12,17 @@ import (
 // percentiles, throughput and allocator deltas are measurements of this
 // machine and run.
 type Summary struct {
-	Runs          int              `json:"runs"`
-	Rounds        int              `json:"rounds"`
-	Messages      int64            `json:"messages"`
-	Bytes         int64            `json:"bytes"`
-	MaxActive     int              `json:"max_active_nodes"`
+	Runs     int   `json:"runs"`
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	// LogicalMessages/LogicalBytes total the simulated protocol's own
+	// traffic for rounds recorded by a transport-accounting engine (the
+	// frugal engine); zero everywhere else. When nonzero, Messages/Bytes
+	// for those rounds are the skeleton transport actually paid.
+	LogicalMessages int64            `json:"logical_messages,omitempty"`
+	LogicalBytes    int64            `json:"logical_bytes,omitempty"`
+	MaxActive       int              `json:"max_active_nodes"`
 	WallNanos     int64            `json:"wall_nanos"`
 	RoundP50Nanos int64            `json:"round_p50_nanos"`
 	RoundP95Nanos int64            `json:"round_p95_nanos"`
@@ -44,6 +50,8 @@ func (c *Collector) Summary() Summary {
 	for _, r := range c.rounds {
 		s.Messages += r.Messages
 		s.Bytes += r.Bytes
+		s.LogicalMessages += r.LogicalMessages
+		s.LogicalBytes += r.LogicalBytes
 		if r.ActiveNodes > s.MaxActive {
 			s.MaxActive = r.ActiveNodes
 		}

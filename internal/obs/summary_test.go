@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSummaryZeroWallWindow pins the rate guard: a measurement window of
+// exactly zero nanoseconds (possible on coarse clocks or trivially empty
+// runs) must report MsgsPerSec 0, not +Inf or NaN — those are not valid
+// JSON numbers and would poison JSONL traces and /v1/stats.
+func TestSummaryZeroWallWindow(t *testing.T) {
+	var c Collector
+	c.RecordRound(RoundMetric{Engine: "scheduler", Round: 1, Messages: 42, Bytes: 420})
+	now := time.Now()
+	c.mu.Lock()
+	c.started, c.stopped = true, true
+	c.startWall, c.stopWall = now, now
+	c.mu.Unlock()
+
+	s := c.Summary()
+	if s.WallNanos != 0 {
+		t.Fatalf("window is not zero: %d ns", s.WallNanos)
+	}
+	if s.MsgsPerSec != 0 {
+		t.Fatalf("MsgsPerSec = %v for a zero-duration window, want 0", s.MsgsPerSec)
+	}
+	if math.IsInf(s.MsgsPerSec, 0) || math.IsNaN(s.MsgsPerSec) {
+		t.Fatalf("MsgsPerSec is not finite: %v", s.MsgsPerSec)
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("zero-duration summary does not marshal: %v", err)
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(string(out), bad) {
+			t.Fatalf("marshaled summary contains %s: %s", bad, out)
+		}
+	}
+}
+
+// TestSummaryLogicalSplit checks the transport-vs-logical aggregation: the
+// Logical* totals sum the per-round fields, and rounds without them leave
+// the totals untouched (so stock-engine summaries marshal without the
+// omitempty fields).
+func TestSummaryLogicalSplit(t *testing.T) {
+	var c Collector
+	c.RecordRound(RoundMetric{Engine: "frugal", Round: 1, Messages: 10, Bytes: 100,
+		LogicalMessages: 200, LogicalBytes: 2000})
+	c.RecordRound(RoundMetric{Engine: "frugal", Round: 2, Messages: 5, Bytes: 50,
+		LogicalMessages: 300, LogicalBytes: 3000})
+	s := c.Summary()
+	if s.Messages != 15 || s.Bytes != 150 {
+		t.Fatalf("transport totals %d/%d, want 15/150", s.Messages, s.Bytes)
+	}
+	if s.LogicalMessages != 500 || s.LogicalBytes != 5000 {
+		t.Fatalf("logical totals %d/%d, want 500/5000", s.LogicalMessages, s.LogicalBytes)
+	}
+
+	var stock Collector
+	stock.RecordRound(RoundMetric{Engine: "scheduler", Round: 1, Messages: 10})
+	out, err := json.Marshal(stock.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "logical") {
+		t.Fatalf("stock summary leaked logical fields: %s", out)
+	}
+}

@@ -35,6 +35,11 @@
 # regression gate can tell a true scaling regression from a host that
 # simply lacks the cores (DESIGN.md decision 9).
 #
+# A "msgred" section records `locad msgred -graph grid -n 4096 -json`: the
+# frugal engine's skeleton-simulation message/byte reduction and round
+# overhead against the stock scheduler on the saturating grid flood, which
+# the regression gate holds to a ≥3x message floor at ≤2x rounds.
+#
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
@@ -115,6 +120,14 @@ cluster_json="$workdir/cluster.json"
     -duration 2s -json >"$cluster_json"
 echo "cluster shard sweep collected"
 
+# Message-reduction comparison: the frugal engine's skeleton simulation vs
+# the stock scheduler on the saturating 4096-node grid flood. The report
+# lands under the "msgred" key and the regression gate enforces the ≥3x
+# message-reduction floor at ≤2x rounds.
+msgred_json="$workdir/msgred.json"
+"$locad_bin" msgred -graph grid -n 4096 -json >"$msgred_json"
+echo "frugal-engine message-reduction comparison collected"
+
 # Splice the restart probe into the serve report as its "restart" key,
 # preserving the first-line-"{" / last-line-"}" shape embed() expects.
 merged="$workdir/serve_merged.json"
@@ -126,7 +139,7 @@ merged="$workdir/serve_merged.json"
 } > "$merged"
 serve_json="$merged"
 
-awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" '
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" -v msgredfile="$msgred_json" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -161,6 +174,7 @@ END {
     embed(expfile, "experiments")
     embed(servefile, "serve")
     embed(clusterfile, "cluster")
+    embed(msgredfile, "msgred")
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"

@@ -16,6 +16,7 @@ import (
 	"localadvice/internal/bitstr"
 	"localadvice/internal/coloring"
 	"localadvice/internal/core"
+	"localadvice/internal/decomp"
 	"localadvice/internal/decompress"
 	"localadvice/internal/edgecolor"
 	"localadvice/internal/eth"
@@ -682,6 +683,45 @@ func BenchmarkEngineSchedulerWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDecompose4096 times the seeded low-diameter decomposition on the
+// 4096-node grid — the shard-construction cost a partitioned scheduler run
+// pays once up front.
+func BenchmarkDecompose4096(b *testing.B) {
+	g := graph.Grid2D(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := decomp.Decompose(g, 0.1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Balls() < 1 {
+			b.Fatal("no balls")
+		}
+	}
+}
+
+// BenchmarkEngineSchedulerLowCut4096 is BenchmarkEngineScheduler4096 with
+// the decomposition's low-cut ball shards installed at 4 workers; the delta
+// against contiguous sharding at the same worker count is the locality
+// effect the "decomp" bench section records.
+func BenchmarkEngineSchedulerLowCut4096(b *testing.B) {
+	g := graph.Grid2D(64, 64)
+	proto := &floodProtocol{rounds: 8}
+	d, err := decomp.Decompose(g, 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := d.Shards(4)
+	cfg := local.RunConfig{Workers: 4,
+		Partition: func(*graph.Graph, int) ([][]int32, error) { return shards, nil }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := local.RunMessageConfig(g, proto, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	locad exp [E1 ... E9]        run experiments (all by default)
+//	locad exp [E1 ... E11]       run experiments (all by default)
 //	locad exp -trace t.jsonl -profile cpu.pprof -summary s.json
 //	locad trace -engine message -graph torus -n 256 -o trace.jsonl
 //	locad fault -schema color3 -class flip -rate 0.05 -runs 10
@@ -65,6 +65,8 @@ func run(args []string) error {
 		return cmdEngine(args[1:])
 	case "msgred":
 		return cmdMsgred(args[1:])
+	case "decomp":
+		return cmdDecomp(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
 	case "fault":
@@ -100,7 +102,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `locad — local computation with advice (PODC 2024 reproduction)
 
 subcommands:
-  exp [E1 ... E9]   run experiments and print their tables (all by default);
+  exp [E1 ... E11]  run experiments and print their tables (all by default);
                     -trace/-summary observe the run (sequential), -profile
                     writes a CPU profile
   orient            encode+decode an almost-balanced orientation
@@ -114,6 +116,11 @@ subcommands:
                     messages/time
   msgred            measure the frugal engine's message/byte reduction vs the
                     stock scheduler on a flood workload (-graph, -n, -rho,
+                    -json)
+  decomp            compute a seeded (β, O(log n/β)) low-diameter ball
+                    decomposition and report balls/radii/cut fraction; -sched
+                    benchmarks the scheduler with low-cut ball shards vs
+                    contiguous index shards (-graphs -sched-workers -reps
                     -json)
   trace             run the engine workload with metrics attached and write a
                     JSONL per-round trace (-o <file>, -profile <cpu.pprof>)
@@ -139,7 +146,7 @@ subcommands:
   store {ls,gc,verify}  inspect, garbage-collect or integrity-check a
                     persistent artifact store directory (-dir)
 
-common flags: -graph {cycle,path,grid,torus,regular,planted3,planted4} -n <size> -seed <s>
+common flags: -graph {cycle,path,grid,torus,regular,planted3,planted4,gnp} -n <size> -seed <s>
               -workers <w>  view-engine / experiment worker count (0 = GOMAXPROCS)
 `)
 }
@@ -254,7 +261,7 @@ func writeExpSummaries(path string, results []harness.ExperimentResult) error {
 
 // graphFlags parses the shared graph-construction flags.
 func graphFlags(fs *flag.FlagSet) (kind *string, n *int, seed *int64) {
-	kind = fs.String("graph", "cycle", "graph family: cycle, path, grid, torus, regular, planted3, planted4")
+	kind = fs.String("graph", "cycle", "graph family: cycle, path, grid, torus, regular, planted3, planted4, gnp")
 	n = fs.Int("n", 120, "graph size (nodes; grids/tori use the nearest rectangle)")
 	seed = fs.Int64("seed", 1, "random seed for generated graphs and IDs")
 	return

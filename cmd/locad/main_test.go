@@ -48,6 +48,9 @@ func TestRunSubcommands(t *testing.T) {
 		{"engine frugal", []string{"engine", "-graph", "grid", "-n", "100", "-engine", "frugal"}},
 		{"msgred", []string{"msgred", "-graph", "cycle", "-n", "64"}},
 		{"msgred json", []string{"msgred", "-graph", "grid", "-n", "49", "-rho", "1", "-json"}},
+		{"decomp", []string{"decomp", "-graph", "grid", "-n", "100", "-beta", "0.3"}},
+		{"decomp gnp", []string{"decomp", "-graph", "gnp", "-n", "64", "-beta", "0.5", "-workers", "2"}},
+		{"decomp sched", []string{"decomp", "-sched", "-graphs", "grid,gnp", "-n", "144", "-sched-workers", "2", "-reps", "1", "-json"}},
 		{"prove mis", []string{"prove", "-graph", "cycle", "-n", "150", "-problem", "mis", "-radius", "25"}},
 		{"help", []string{"help"}},
 	}
@@ -73,6 +76,10 @@ func TestRunErrors(t *testing.T) {
 		{"bad proof problem", []string{"prove", "-problem", "traveling-salesman"}},
 		{"wrong proof length", []string{"verifyproof", "-graph", "cycle", "-n", "10", "-proof", "01"}},
 		{"bad proof chars", []string{"verifyproof", "-graph", "cycle", "-n", "3", "-proof", "0x1"}},
+		{"msgred zero rho", []string{"msgred", "-graph", "cycle", "-n", "32", "-rho", "0"}},
+		{"msgred negative rho", []string{"msgred", "-graph", "cycle", "-n", "32", "-rho", "-2"}},
+		{"decomp bad beta", []string{"decomp", "-graph", "cycle", "-n", "32", "-beta", "-1"}},
+		{"decomp bad sched workers", []string{"decomp", "-sched", "-sched-workers", "1"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -84,7 +91,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestMakeGraphFamilies(t *testing.T) {
-	for _, kind := range []string{"cycle", "path", "grid", "torus", "regular", "planted3", "planted4"} {
+	for _, kind := range []string{"cycle", "path", "grid", "torus", "regular", "planted3", "planted4", "gnp"} {
 		g, err := makeGraph(kind, 40, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -121,7 +128,7 @@ func TestHead(t *testing.T) {
 func TestUsageMentionsAllSubcommands(t *testing.T) {
 	// usage writes to stderr; just ensure the command table stays in sync
 	// by checking run() dispatches everything usage lists.
-	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "msgred", "prove", "verifyproof"} {
+	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "msgred", "decomp", "prove", "verifyproof"} {
 		// Dispatching with bad flags still proves the subcommand exists:
 		// flag parse errors differ from "unknown subcommand".
 		err := run([]string{sub, "-definitely-not-a-flag"})

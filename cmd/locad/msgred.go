@@ -42,13 +42,21 @@ type msgredReport struct {
 func cmdMsgred(args []string) error {
 	fs := flag.NewFlagSet("msgred", flag.ContinueOnError)
 	kind, n, seed := graphFlags(fs)
-	rho := fs.Int("rho", 0, "skeleton cluster radius ρ (0 = engine default)")
+	rho := fs.Int("rho", local.DefaultFrugalRadius, "skeleton cluster radius ρ (must be positive)")
 	jsonOut := fs.Bool("json", false, "emit the comparison as JSON")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w := applyWorkers(*workers)
+	// The engine treats 0 as "use the default", but at the CLI an explicit
+	// -rho 0 is almost certainly a typo for a real radius — the flag default
+	// already names the engine default, so any non-positive value is an
+	// error here.
+	if *rho <= 0 {
+		return fmt.Errorf("%w: -rho %d must be positive (default ρ=%d)",
+			local.ErrFrugalRadius, *rho, local.DefaultFrugalRadius)
+	}
 	g, err := makeGraph(*kind, *n, *seed)
 	if err != nil {
 		return err
@@ -93,18 +101,14 @@ func cmdMsgred(args []string) error {
 		}
 	}
 
-	effRho := *rho
-	if effRho <= 0 {
-		effRho = (frugalStats.Rounds - stockStats.Rounds - 1) / 2 // invert the 2ρ+1 overhead
-	}
-	sk := graph.BuildSkeleton(g, effRho, s)
+	sk := graph.BuildSkeleton(g, *rho, s)
 	stockSum, frugalSum := stockC.Summary(), frugalC.Summary()
 
 	rep := msgredReport{
 		Graph:          *kind,
 		Nodes:          g.N(),
 		EdgesM:         g.M(),
-		Rho:            effRho,
+		Rho:            *rho,
 		FloodRounds:    p.Rounds,
 		StockRounds:    stockStats.Rounds,
 		StockMessages:  int64(stockStats.Messages),

@@ -1,0 +1,75 @@
+package decomp
+
+import (
+	"sort"
+
+	"localadvice/internal/graph"
+	"localadvice/internal/local"
+)
+
+// Shards packs whole balls onto `workers` shards for the sharded scheduler:
+// balls are taken in decreasing size (ties by ball index) and assigned
+// greedily to the currently lightest shard (ties by shard index), and each
+// shard's node list is in ascending node-index order (memory-friendly
+// sweeps). Keeping balls whole is what makes the shards low-cut: two nodes
+// of the same ball — within 2·radius hops of each other — always land on
+// the same worker, so cross-shard slab traffic is bounded by the cut edges.
+//
+// The result is exactly `workers` lists (some possibly empty) that cover
+// every node exactly once: a valid local.Partition result by construction.
+func (d *Decomposition) Shards(workers int) [][]int32 {
+	if workers < 1 {
+		workers = 1
+	}
+	sizes := make([]int, d.Balls())
+	for _, b := range d.Ball {
+		sizes[b]++
+	}
+	order := make([]int, d.Balls())
+	for b := range order {
+		order[b] = b
+	}
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := order[i], order[j]
+		if sizes[bi] != sizes[bj] {
+			return sizes[bi] > sizes[bj]
+		}
+		return bi < bj
+	})
+	assign := make([]int32, d.Balls())
+	load := make([]int, workers)
+	for _, b := range order {
+		lightest := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[lightest] {
+				lightest = w
+			}
+		}
+		assign[b] = int32(lightest)
+		load[lightest] += sizes[b]
+	}
+	shards := make([][]int32, workers)
+	for w := range shards {
+		shards[w] = make([]int32, 0, load[w])
+	}
+	for v, b := range d.Ball {
+		w := assign[b]
+		shards[w] = append(shards[w], int32(v))
+	}
+	return shards
+}
+
+// ShardPartition returns a local.Partition that decomposes the run's graph
+// with Decompose(g, beta, seed) and packs whole balls onto the scheduler's
+// shards via Shards. The scheduler calls it once per run, after fault
+// injection, with the resolved worker count; decomposition errors (bad β)
+// propagate out of the run as errors.
+func ShardPartition(beta float64, seed int64) local.Partition {
+	return func(g *graph.Graph, workers int) ([][]int32, error) {
+		d, err := Decompose(g, beta, seed)
+		if err != nil {
+			return nil, err
+		}
+		return d.Shards(workers), nil
+	}
+}

@@ -126,6 +126,31 @@ func (s *BFSScratch) visit(v int32, d int32) {
 	s.order = append(s.order, v)
 }
 
+// Begin starts a new traversal epoch over n nodes for an externally driven
+// traversal: the caller decides which nodes to Visit and in what order, and
+// the scratch supplies the epoch-stamped visited set, distances, positions
+// and visit order. This is the entry point multi-source traversals with
+// custom frontier schedules (e.g. the shifted-start decomposition in
+// internal/decomp) build on, sharing the no-clearing epoch machinery of
+// BFSWithin.
+func (s *BFSScratch) Begin(n int) { s.begin(n) }
+
+// Visit marks v visited at distance d in the current epoch and appends it to
+// the visit order. Visiting an already-visited node corrupts the order; the
+// caller must check Visited first.
+func (s *BFSScratch) Visit(v, d int) { s.visit(int32(v), int32(d)) }
+
+// Visited reports whether v has been visited in the current epoch.
+func (s *BFSScratch) Visited(v int) bool {
+	return v >= 0 && v < len(s.stamp) && s.stamp[v] == s.epoch
+}
+
+// Order returns the nodes visited in the current epoch, in visit order. The
+// slice is owned by the scratch: it is valid until the next Begin/traversal
+// and grows as the caller Visits more nodes (re-slice after each Visit
+// batch).
+func (s *BFSScratch) Order() []int32 { return s.order }
+
 // BFSWithin runs a breadth-first traversal from v truncated at radius r and
 // returns the nodes at distance <= r in BFS order (v first). A negative r
 // means unbounded (a full-component traversal). Distances and visit

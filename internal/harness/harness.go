@@ -90,6 +90,7 @@ func All() []Experiment {
 		{ID: "E8", Title: "Composability and arbitrarily sparse advice (Lem 1/2, Def 3/4)", Run: RunE8},
 		{ID: "E9", Title: "Fault injection: detection vs silent invalid outputs", Run: RunE9},
 		{ID: "E10", Title: "Frugal engine: skeleton message reduction vs stock scheduler", Run: RunE10},
+		{ID: "E11", Title: "Low-diameter decomposition: balls, radii and cut fraction vs beta", Run: RunE11},
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 // GraphFamilies lists the graph families BuildGraph accepts, in the order
 // the CLI documents them.
 func GraphFamilies() []string {
-	return []string{"cycle", "path", "grid", "torus", "regular", "planted3", "planted4"}
+	return []string{"cycle", "path", "grid", "torus", "regular", "planted3", "planted4", "gnp"}
 }
 
 // BuildGraph constructs a graph from a family name, target size and seed —
@@ -47,6 +47,15 @@ func BuildGraph(family string, n int, seed int64) (*graph.Graph, error) {
 		return g, nil
 	case "planted4":
 		g, _ := graph.RandomColorable(n, 4, 0.22, rng)
+		graph.AssignPermutedIDs(g, rng)
+		return g, nil
+	case "gnp":
+		if n < 1 {
+			return nil, fmt.Errorf("gnp graph needs n >= 1, got %d", n)
+		}
+		// Expected degree ~8 regardless of n — the sparse unstructured
+		// regime the decomposition and message-reduction sweeps use.
+		g := graph.RandomGNP(n, 8.0/float64(n), rng)
 		graph.AssignPermutedIDs(g, rng)
 		return g, nil
 	default:

@@ -40,10 +40,68 @@ type RunConfig struct {
 	Metrics *obs.Collector
 
 	// FrugalRadius is the skeleton cluster radius ρ used by RunFrugalConfig;
-	// values <= 0 select the package default (defaultFrugalRadius). The
+	// zero selects the package default (DefaultFrugalRadius) and negative
+	// values are rejected with an error wrapping ErrFrugalRadius. The
 	// other engines ignore it. Larger ρ means fewer, deeper clusters —
 	// fewer skeleton edges but a larger 2ρ+1 round overhead.
 	FrugalRadius int
+
+	// Partition, when non-nil, replaces the sharded scheduler's contiguous
+	// node-index shards with custom node lists (e.g. the low-cut ball
+	// shards of decomp.ShardPartition). It is called once per run, after
+	// fault injection, with the graph the engine executes and the resolved
+	// worker count — and only when that count is > 1 (a single worker
+	// sweeps all nodes either way). It must return exactly `workers`
+	// disjoint lists that together cover every node exactly once; anything
+	// else fails the run with an error wrapping ErrBadPartition, and an
+	// error it returns propagates unchanged.
+	//
+	// Sharding only chooses which worker sweeps which node: outputs,
+	// rounds, messages and fault reports are bit-identical to contiguous
+	// sharding for every valid partition (the slabs give every directed
+	// port a single writer regardless of grouping). The ball, goroutine
+	// and sequential engines ignore it.
+	Partition Partition
+}
+
+// Partition computes a custom node→shard grouping for the sharded
+// scheduler: shards[w] lists the nodes worker w sweeps each round. See
+// RunConfig.Partition for the exactness contract.
+type Partition func(g *graph.Graph, workers int) ([][]int32, error)
+
+// resolveShards runs cfg.Partition (when installed and the run is actually
+// parallel) and validates its result against the exactness contract. A nil
+// return means contiguous index sharding.
+func (cfg RunConfig) resolveShards(g *graph.Graph, workers int) ([][]int32, error) {
+	if cfg.Partition == nil || workers <= 1 {
+		return nil, nil
+	}
+	shards, err := cfg.Partition(g, workers)
+	if err != nil {
+		return nil, fmt.Errorf("local: partition: %w", err)
+	}
+	n := g.N()
+	if len(shards) != workers {
+		return nil, fmt.Errorf("%w: got %d shards for %d workers", ErrBadPartition, len(shards), workers)
+	}
+	seen := make([]bool, n)
+	total := 0
+	for w, nodes := range shards {
+		for _, v := range nodes {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("%w: shard %d contains out-of-range node %d (n=%d)", ErrBadPartition, w, v, n)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("%w: node %d assigned to more than one shard", ErrBadPartition, v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: shards cover %d of %d nodes", ErrBadPartition, total, n)
+	}
+	return shards, nil
 }
 
 // normalize resolves the configured worker count for an n-node run. This

@@ -11,4 +11,15 @@ var (
 	// every node of the graph (advice must be nil or have exactly N()
 	// entries).
 	ErrAdviceLength = errors.New("local: advice length mismatch")
+
+	// ErrBadPartition tags scheduler runs whose RunConfig.Partition did not
+	// return an exact partition of the node set: one list per worker, every
+	// node in exactly one list.
+	ErrBadPartition = errors.New("local: invalid scheduler partition")
+
+	// ErrFrugalRadius tags frugal-engine runs configured with an invalid
+	// skeleton cluster radius ρ: RunFrugalConfig rejects negative values
+	// (0 is the documented use-the-default sentinel), and the locad CLI
+	// additionally rejects an explicit -rho 0.
+	ErrFrugalRadius = errors.New("local: invalid skeleton radius")
 )

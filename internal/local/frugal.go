@@ -1,6 +1,7 @@
 package local
 
 import (
+	"fmt"
 	"reflect"
 
 	"localadvice/internal/graph"
@@ -39,11 +40,11 @@ import (
 //     obs.ApproxSize times the number of skeleton hops it travels, so byte
 //     totals reflect real bandwidth, not just envelope counts.
 
-// defaultFrugalRadius is the skeleton cluster radius ρ used when
-// RunConfig.FrugalRadius is unset. ρ=2 keeps the round overhead at
+// DefaultFrugalRadius is the skeleton cluster radius ρ used when
+// RunConfig.FrugalRadius is unset (zero). ρ=2 keeps the round overhead at
 // 2ρ+1 = 5 while already collapsing grid/torus neighborhoods into few
 // clusters.
-const defaultFrugalRadius = 2
+const DefaultFrugalRadius = 2
 
 // RunFrugal executes protocol on g with the given advice using the
 // bandwidth-frugal engine and the default skeleton radius. Outputs are
@@ -55,8 +56,10 @@ func RunFrugal(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, 
 }
 
 // RunFrugalConfig is RunFrugal with an explicit RunConfig: worker count,
-// fault plan, metrics collector, and skeleton radius (FrugalRadius, <= 0
-// selects the default). Fault plans behave exactly as in RunMessageConfig —
+// fault plan, metrics collector, and skeleton radius (FrugalRadius; zero
+// selects DefaultFrugalRadius, negative values are an error wrapping
+// ErrFrugalRadius — they used to fall through to the default silently,
+// hiding caller bugs). Fault plans behave exactly as in RunMessageConfig —
 // the same sweep executes, so crash rounds, advice flips and ID
 // reassignment produce identical outputs and typed errors.
 //
@@ -66,8 +69,12 @@ func RunFrugal(g *graph.Graph, protocol Protocol, advice Advice) ([]any, Stats, 
 // engine's measured message reduction.
 func RunFrugalConfig(g *graph.Graph, protocol Protocol, advice Advice, cfg RunConfig) ([]any, Stats, error) {
 	rho := cfg.FrugalRadius
-	if rho <= 0 {
-		rho = defaultFrugalRadius
+	if rho < 0 {
+		return nil, Stats{}, fmt.Errorf("%w: FrugalRadius %d is negative (0 selects the default ρ=%d)",
+			ErrFrugalRadius, rho, DefaultFrugalRadius)
+	}
+	if rho == 0 {
+		rho = DefaultFrugalRadius
 	}
 	hk := &schedHook{
 		engine: "frugal",

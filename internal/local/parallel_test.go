@@ -285,7 +285,7 @@ func TestSchedulerMatchesGoroutineEngine(t *testing.T) {
 						}
 					}
 				}
-				if want := refStats.Rounds + 2*defaultFrugalRadius + 1; frugalRef.Rounds != want {
+				if want := refStats.Rounds + 2*DefaultFrugalRadius + 1; frugalRef.Rounds != want {
 					t.Fatalf("seed %d %s/%s: frugal rounds %d, want %d (protocol rounds + 2ρ+1)",
 						seed, gname, pname, frugalRef.Rounds, want)
 				}

@@ -1,0 +1,186 @@
+package local
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"localadvice/internal/bitstr"
+	"localadvice/internal/graph"
+)
+
+// stripedPartition assigns node v to shard v % workers — a legal partition
+// with maximally non-contiguous shards, the stress case for the
+// partitioned-equals-contiguous property.
+func stripedPartition(g *graph.Graph, workers int) ([][]int32, error) {
+	shards := make([][]int32, workers)
+	for v := 0; v < g.N(); v++ {
+		w := v % workers
+		shards[w] = append(shards[w], int32(v))
+	}
+	return shards, nil
+}
+
+// reversedBlockPartition hands out the contiguous index blocks in reverse
+// worker order, so worker 0 sweeps the highest indices.
+func reversedBlockPartition(g *graph.Graph, workers int) ([][]int32, error) {
+	n := g.N()
+	block := (n + workers - 1) / workers
+	shards := make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		lo := (workers - 1 - w) * block
+		hi := min(lo+block, n)
+		for v := lo; v < hi; v++ {
+			shards[w] = append(shards[w], int32(v))
+		}
+	}
+	return shards, nil
+}
+
+// TestSchedulerPartitionEquivalence pins the partition mechanism in
+// isolation (no decomp dependency): any valid custom grouping — striped,
+// reversed blocks — produces outputs and stats bit-identical to contiguous
+// sharding, for every protocol, graph family and worker count.
+func TestSchedulerPartitionEquivalence(t *testing.T) {
+	partitions := map[string]Partition{
+		"striped":  stripedPartition,
+		"reversed": reversedBlockPartition,
+	}
+	for gname, g := range propertyGraphs(t, 3) {
+		advice := make(Advice, g.N())
+		for v := range advice {
+			advice[v] = bitstr.New(v % 2)
+		}
+		for pname, p := range messageProtocols() {
+			for _, w := range []int{2, 8} {
+				refOut, refStats, err := RunMessageConfig(g, p, advice, RunConfig{Workers: w})
+				if err != nil {
+					t.Fatalf("%s/%s workers %d: contiguous: %v", gname, pname, w, err)
+				}
+				for name, part := range partitions {
+					out, stats, err := RunMessageConfig(g, p, advice, RunConfig{Workers: w, Partition: part})
+					if err != nil {
+						t.Fatalf("%s/%s workers %d %s: %v", gname, pname, w, name, err)
+					}
+					if stats != refStats {
+						t.Fatalf("%s/%s workers %d %s: stats %+v, contiguous %+v",
+							gname, pname, w, name, stats, refStats)
+					}
+					for v := range out {
+						if out[v] != refOut[v] {
+							t.Fatalf("%s/%s workers %d %s node %d: %v, contiguous %v",
+								gname, pname, w, name, v, out[v], refOut[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerPartitionValidation covers the ErrBadPartition contract:
+// wrong shard count, out-of-range nodes, duplicates and dropped nodes all
+// fail the run with the typed sentinel; a partition function's own error
+// propagates; and with one worker the partition stage is never invoked.
+func TestSchedulerPartitionValidation(t *testing.T) {
+	g := graph.Cycle(12)
+	p := &GatherProtocol{Radius: 1, Decide: viewFingerprint}
+	bad := map[string]Partition{
+		"wrong-count": func(g *graph.Graph, workers int) ([][]int32, error) {
+			return make([][]int32, workers+1), nil
+		},
+		"out-of-range": func(g *graph.Graph, workers int) ([][]int32, error) {
+			shards, _ := stripedPartition(g, workers)
+			shards[0][0] = int32(g.N())
+			return shards, nil
+		},
+		"negative-node": func(g *graph.Graph, workers int) ([][]int32, error) {
+			shards, _ := stripedPartition(g, workers)
+			shards[0][0] = -1
+			return shards, nil
+		},
+		"duplicate": func(g *graph.Graph, workers int) ([][]int32, error) {
+			shards, _ := stripedPartition(g, workers)
+			shards[0] = append(shards[0], shards[1][0])
+			return shards, nil
+		},
+		"dropped-node": func(g *graph.Graph, workers int) ([][]int32, error) {
+			shards, _ := stripedPartition(g, workers)
+			shards[0] = shards[0][:len(shards[0])-1]
+			return shards, nil
+		},
+	}
+	for name, part := range bad {
+		_, _, err := RunMessageConfig(g, p, nil, RunConfig{Workers: 3, Partition: part})
+		if !errors.Is(err, ErrBadPartition) {
+			t.Errorf("%s: err = %v, want ErrBadPartition", name, err)
+		}
+	}
+
+	sentinel := errors.New("partition exploded")
+	_, _, err := RunMessageConfig(g, p, nil, RunConfig{
+		Workers:   3,
+		Partition: func(*graph.Graph, int) ([][]int32, error) { return nil, sentinel },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("partition error did not propagate: %v", err)
+	}
+
+	called := false
+	out, _, err := RunMessageConfig(g, p, nil, RunConfig{
+		Workers: 1,
+		Partition: func(*graph.Graph, int) ([][]int32, error) {
+			called = true
+			return nil, sentinel
+		},
+	})
+	if err != nil || called {
+		t.Fatalf("single-worker run invoked the partition stage (called=%v, err=%v)", called, err)
+	}
+	refOut, _, _ := RunSequential(g, p, nil)
+	for v := range out {
+		if out[v] != refOut[v] {
+			t.Fatalf("node %d: %v, sequential %v", v, out[v], refOut[v])
+		}
+	}
+}
+
+// TestFrugalRadiusValidation is satellite 1's engine-boundary table: a
+// negative ρ is a typed error, zero selects the documented default, and
+// explicit positive radii shift the round overhead by exactly 2ρ+1.
+func TestFrugalRadiusValidation(t *testing.T) {
+	g := graph.Cycle(16)
+	protocol := func() Protocol { return &GatherProtocol{Radius: 2, Decide: viewFingerprint} }
+	_, refStats, err := RunSequential(g, protocol(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rho        int
+		wantErr    bool
+		wantRounds int
+	}{
+		{rho: -1, wantErr: true},
+		{rho: 0, wantRounds: refStats.Rounds + 2*DefaultFrugalRadius + 1},
+		{rho: 1, wantRounds: refStats.Rounds + 3},
+		{rho: 4, wantRounds: refStats.Rounds + 9},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("rho=%d", tc.rho), func(t *testing.T) {
+			_, stats, err := RunFrugalConfig(g, protocol(), nil, RunConfig{FrugalRadius: tc.rho})
+			if tc.wantErr {
+				if !errors.Is(err, ErrFrugalRadius) {
+					t.Fatalf("err = %v, want ErrFrugalRadius", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Rounds != tc.wantRounds {
+				t.Fatalf("rounds = %d, want %d (protocol rounds %d + 2ρ+1)",
+					stats.Rounds, tc.wantRounds, refStats.Rounds)
+			}
+		})
+	}
+}

@@ -111,6 +111,10 @@ func runSchedulerCore(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 	g, advice = cfg.applyFault(g, advice)
 	n := g.N()
 	workers := cfg.normalize(n)
+	shards, err := cfg.resolveShards(g, workers)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	pt := newPortTable(g)
 	engine := "scheduler"
@@ -150,54 +154,75 @@ func runSchedulerCore(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 		allDone bool
 	}
 
-	// sweep advances every node in [lo, hi) by one round: read the inbox
-	// from cur, step the machine, deliver the outbox into next.
+	// sweepNode advances one node by one round: read the inbox from cur,
+	// step the machine, deliver the outbox into next. Shared verbatim by
+	// the contiguous-range and partitioned sweeps, which is what pins
+	// partitioned outputs bit-identical to contiguous sharding.
+	sweepNode := func(v, round int, cur, next []Message, st *sweepStats) {
+		start, end := pt.off[v], pt.off[v+1]
+		var outbox []Message
+		if !done[v] && cfg.Fault.Crashes(v, round) {
+			// The node stops participating: it is marked done (so the
+			// run terminates) with a CrashError output, and from this
+			// round on all its ports carry nil.
+			done[v] = true
+			doneAt[v] = round
+			outputs[v] = fault.CrashError{Node: v, Round: round}
+			if measure {
+				m.Emit("fault.crash", "", 1)
+			}
+		}
+		if !done[v] {
+			st.active++
+			// The inbox slice aliases the slab and is valid only for
+			// the duration of the call (same contract as the other
+			// engines, which reuse a per-node buffer).
+			outbox, done[v] = machines[v].Round(round, cur[start:end])
+			if done[v] {
+				doneAt[v] = round
+				outputs[v] = machines[v].Output()
+			}
+		}
+		if !done[v] {
+			st.allDone = false
+		}
+		// Every port is written every round — nil from terminated or
+		// silent nodes — so next never needs clearing between rounds.
+		deg := int(end - start)
+		for i := 0; i < deg; i++ {
+			var msg Message
+			if i < len(outbox) {
+				msg = outbox[i]
+			}
+			if msg != nil {
+				st.sent++
+				if measure {
+					st.bytes += obs.ApproxSize(msg)
+				}
+			}
+			next[pt.sendSlot[start+int32(i)]] = msg
+		}
+	}
+
+	// sweep advances every node in [lo, hi) by one round — the contiguous
+	// index shard of the default sharding.
 	sweep := func(lo, hi, round int, cur, next []Message) sweepStats {
 		st := sweepStats{allDone: true}
 		for v := lo; v < hi; v++ {
-			start, end := pt.off[v], pt.off[v+1]
-			var outbox []Message
-			if !done[v] && cfg.Fault.Crashes(v, round) {
-				// The node stops participating: it is marked done (so the
-				// run terminates) with a CrashError output, and from this
-				// round on all its ports carry nil.
-				done[v] = true
-				doneAt[v] = round
-				outputs[v] = fault.CrashError{Node: v, Round: round}
-				if measure {
-					m.Emit("fault.crash", "", 1)
-				}
-			}
-			if !done[v] {
-				st.active++
-				// The inbox slice aliases the slab and is valid only for
-				// the duration of the call (same contract as the other
-				// engines, which reuse a per-node buffer).
-				outbox, done[v] = machines[v].Round(round, cur[start:end])
-				if done[v] {
-					doneAt[v] = round
-					outputs[v] = machines[v].Output()
-				}
-			}
-			if !done[v] {
-				st.allDone = false
-			}
-			// Every port is written every round — nil from terminated or
-			// silent nodes — so next never needs clearing between rounds.
-			deg := int(end - start)
-			for i := 0; i < deg; i++ {
-				var msg Message
-				if i < len(outbox) {
-					msg = outbox[i]
-				}
-				if msg != nil {
-					st.sent++
-					if measure {
-						st.bytes += obs.ApproxSize(msg)
-					}
-				}
-				next[pt.sendSlot[start+int32(i)]] = msg
-			}
+			sweepNode(v, round, cur, next, &st)
+		}
+		if st.sent > 0 {
+			msgCount.Add(st.sent)
+		}
+		return st
+	}
+
+	// sweepList is sweep over an explicit node list — one shard of a
+	// cfg.Partition grouping.
+	sweepList := func(nodes []int32, round int, cur, next []Message) sweepStats {
+		st := sweepStats{allDone: true}
+		for _, v := range nodes {
+			sweepNode(int(v), round, cur, next, &st)
 		}
 		if st.sent > 0 {
 			msgCount.Add(st.sent)
@@ -230,23 +255,39 @@ func runSchedulerCore(g *graph.Graph, protocol Protocol, advice Advice, cfg RunC
 		} else {
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
-				lo := w * shard
-				hi := min(lo+shard, n)
-				if lo >= hi {
-					shardStats[w] = sweepStats{allDone: true}
-					continue
+				lo, hi := 0, 0
+				var nodes []int32
+				if shards != nil {
+					nodes = shards[w]
+					if len(nodes) == 0 {
+						shardStats[w] = sweepStats{allDone: true}
+						continue
+					}
+				} else {
+					lo = w * shard
+					hi = min(lo+shard, n)
+					if lo >= hi {
+						shardStats[w] = sweepStats{allDone: true}
+						continue
+					}
 				}
 				wg.Add(1)
-				go func(w, lo, hi int) {
+				go func(w, lo, hi int, nodes []int32) {
 					defer wg.Done()
+					run := func() sweepStats {
+						if nodes != nil {
+							return sweepList(nodes, round, cur, next)
+						}
+						return sweep(lo, hi, round, cur, next)
+					}
 					if measure {
 						shardStart := time.Now()
-						shardStats[w] = sweep(lo, hi, round, cur, next)
+						shardStats[w] = run()
 						shardNanos[w] = time.Since(shardStart).Nanoseconds()
 					} else {
-						shardStats[w] = sweep(lo, hi, round, cur, next)
+						shardStats[w] = run()
 					}
-				}(w, lo, hi)
+				}(w, lo, hi, nodes)
 			}
 			wg.Wait()
 			total = sweepStats{allDone: true}

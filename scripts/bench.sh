@@ -40,6 +40,13 @@
 # overhead against the stock scheduler on the saturating grid flood, which
 # the regression gate holds to a ≥3x message floor at ≤2x rounds.
 #
+# A "decomp" section records `locad decomp -sched -json`: scheduler
+# rounds/s with contiguous index shards vs the low-diameter decomposition's
+# low-cut ball shards on 4096-node grid/torus/gnp graphs at 2/4/8 workers.
+# The gate always requires bit-identical outputs between the shardings and
+# structurally valid decompositions; the ≥1.0x locality speedup floor binds
+# only when the recording host has >= 4 CPUs (DESIGN.md decision 9).
+#
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
@@ -57,8 +64,8 @@ go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
 # traffic, so this number regresses when a change adds synchronization or
 # sharing to the hot paths even if the benchmarks above stay flat.
 race_start=$(date +%s)
-go test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize' \
-    ./internal/local ./internal/fault >/dev/null
+go test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize|Decomp|Partition' \
+    ./internal/local ./internal/fault ./internal/decomp >/dev/null
 race_seconds=$(( $(date +%s) - race_start ))
 echo "race-enabled equivalence tests: ${race_seconds}s"
 
@@ -128,6 +135,15 @@ msgred_json="$workdir/msgred.json"
 "$locad_bin" msgred -graph grid -n 4096 -json >"$msgred_json"
 echo "frugal-engine message-reduction comparison collected"
 
+# Scheduler-sharding comparison: contiguous index shards vs the low-diameter
+# decomposition's low-cut ball shards on the flood workload. Lands under the
+# "decomp" key; the gate checks output identity always and the locality
+# speedup only on hosts with enough cores.
+decomp_json="$workdir/decomp.json"
+"$locad_bin" decomp -sched -graphs grid,torus,gnp -n 4096 -beta 0.1 \
+    -sched-workers 2,4,8 -reps 3 -json >"$decomp_json"
+echo "scheduler-sharding decomposition comparison collected"
+
 # Splice the restart probe into the serve report as its "restart" key,
 # preserving the first-line-"{" / last-line-"}" shape embed() expects.
 merged="$workdir/serve_merged.json"
@@ -139,7 +155,7 @@ merged="$workdir/serve_merged.json"
 } > "$merged"
 serve_json="$merged"
 
-awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" -v msgredfile="$msgred_json" '
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" -v msgredfile="$msgred_json" -v decompfile="$decomp_json" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -175,6 +191,7 @@ END {
     embed(servefile, "serve")
     embed(clusterfile, "cluster")
     embed(msgredfile, "msgred")
+    embed(decompfile, "decomp")
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"

@@ -148,10 +148,14 @@ func DecomposeWorkers(g *graph.Graph, beta float64, seed int64, workers int) (*D
 	rng := rand.New(rand.NewSource(seed))
 	for v := 0; v < n; v++ {
 		u := rng.Float64() // in [0, 1), so 1-u is in (0, 1]
-		shift := int32(-math.Log(1-u) / beta)
-		if shift > int32(n) {
-			shift = int32(n)
+		// Clamp in float64 before converting: for tiny β the draw can
+		// overflow int32, and a float64→int32 conversion out of range is
+		// implementation-defined in Go.
+		x := -math.Log(1-u) / beta
+		if x > float64(n) {
+			x = float64(n)
 		}
+		shift := int32(x)
 		d.Shift[v] = shift
 		if shift > d.MaxShift {
 			d.MaxShift = shift

@@ -103,6 +103,29 @@ func TestDecomposeBetaValidation(t *testing.T) {
 	}
 }
 
+// TestDecomposeTinyBeta pins the float64 shift clamp: a denormal-scale β
+// passes validation but makes -log(1-u)/β overflow int32, so the clamp must
+// happen before the conversion. Shifts saturate at n and the decomposition
+// stays valid for every worker count.
+func TestDecomposeTinyBeta(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	for _, workers := range []int{-1, 1, 3, 8} {
+		d, err := DecomposeWorkers(g, 1e-300, 1, workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if err := d.Validate(g); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		n := int32(g.N())
+		for v, s := range d.Shift {
+			if s < 0 || s > n {
+				t.Fatalf("workers %d: node %d shift %d outside [0, %d]", workers, v, s, n)
+			}
+		}
+	}
+}
+
 // TestDecomposeEdgeCases covers degenerate graphs: empty, a single node,
 // an edgeless graph (every node its own ball), and a disconnected graph
 // (every component fully covered).

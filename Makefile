@@ -21,7 +21,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize|Decomp|Partition' ./internal/local ./internal/fault ./internal/decomp
+	$(GO) test -race -count=1 -run 'Equivalence|Matches|WorkerCount|Crash|Fault|Normalize|Decomp|Partition|Deterministic|RunDecider' ./internal/local ./internal/fault ./internal/decomp ./internal/lll
 	$(GO) test -race -count=1 -run 'Race|Singleflight|Property|Flush|Cached' ./internal/server ./internal/cache ./internal/cluster
 	$(MAKE) serve-smoke
 	LOCAD_BENCH_REGRESSION=1 $(GO) test -count=1 -run TestBenchRegression .
@@ -30,8 +30,8 @@ check:
 # Per-package coverage floor: the packages at the heart of the reproduction
 # (engines, the graph substrate including the frugal engine's skeleton
 # construction, schema substrate, instrumentation) must each stay at or
-# above 70% statement coverage. The decomposition package is newer and
-# smaller, so it carries a stricter 85% floor of its own.
+# above 70% statement coverage. The decomposition and LLL-solver packages
+# are newer and smaller, so they carry a stricter 85% floor of their own.
 COVER_FLOOR := 70.0
 COVER_PKGS  := ./internal/local ./internal/graph ./internal/core ./internal/obs ./internal/server ./internal/cache ./internal/persist ./internal/cluster
 DECOMP_COVER_FLOOR := 85.0
@@ -46,7 +46,7 @@ cover:
 		} \
 	} \
 	END { exit bad }'
-	$(GO) test -count=1 -cover ./internal/decomp | awk -v floor=$(DECOMP_COVER_FLOOR) '\
+	$(GO) test -count=1 -cover ./internal/decomp ./internal/lll | awk -v floor=$(DECOMP_COVER_FLOOR) '\
 	{ print } \
 	/^ok/ { \
 		for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
@@ -70,6 +70,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzHandleDecode -fuzztime=30s ./internal/server
 	$(GO) test -fuzz=FuzzTableBinary -fuzztime=30s ./internal/persist
 	$(GO) test -fuzz=FuzzDecompose -fuzztime=30s ./internal/decomp
+	$(GO) test -fuzz=FuzzSolveDeterministic -fuzztime=30s ./internal/lll
 
 # Full benchmark sweep, recorded as BENCH_<date>.json for regression tracking.
 bench:

@@ -47,6 +47,23 @@ type benchReport struct {
 			OutputsMatch     bool    `json:"outputs_match"`
 		} `json:"points"`
 	} `json:"decomp"`
+	DetLLL *struct {
+		Seeds  int `json:"seeds"`
+		Points []struct {
+			Schema      string  `json:"schema"`
+			Method      string  `json:"method"`
+			Resamplings float64 `json:"resamplings"`
+			Evaluations float64 `json:"evaluations"`
+			Distinct    int     `json:"distinct"`
+			Valid       bool    `json:"valid"`
+		} `json:"points"`
+		Warm []struct {
+			Schema        string  `json:"schema"`
+			Requests      int     `json:"requests"`
+			DetHitRate    float64 `json:"det_hit_rate"`
+			SeededHitRate float64 `json:"seeded_hit_rate"`
+		} `json:"warm"`
+	} `json:"detlll"`
 	Cluster *struct {
 		CPUs          int     `json:"cpus"`
 		ColdScaling4x float64 `json:"cold_scaling_4x"`
@@ -250,6 +267,50 @@ func TestBenchRegression(t *testing.T) {
 			}
 		} else {
 			t.Logf("decomp locality floor not binding: recorded on %d CPUs (<4); structural checks only (%s)", dc.CPUs, path)
+		}
+	}
+
+	// Deterministic-LLL floors — unconditional, no hardware excuse: the
+	// derandomized solvers' guarantees are exact, not statistical. Every
+	// recorded det/decomposed point must show zero resamplings, exactly one
+	// distinct advice output across the swept seeds, and a verified decode;
+	// the Moser–Tardos points must also have decoded validly. The warm-cache
+	// contrast must show the det-mode schema's hit rate strictly above the
+	// seeded schema's (the payoff of the seedless advice keys, DESIGN.md
+	// decision 12).
+	if dl := report.DetLLL; dl == nil {
+		t.Logf("baseline %s has no \"detlll\" record; re-run scripts/bench.sh to gate the deterministic LLL pipeline", path)
+	} else {
+		if len(dl.Points) == 0 {
+			t.Errorf("recorded detlll sweep has no points (%s)", path)
+		}
+		for _, p := range dl.Points {
+			t.Logf("detlll %s/%s: resamp %.2f, evals %.2f, distinct %d/%d seeds, valid %v (%s)",
+				p.Schema, p.Method, p.Resamplings, p.Evaluations, p.Distinct, dl.Seeds, p.Valid, path)
+			if !p.Valid {
+				t.Errorf("detlll %s/%s recorded an unverified decode (%s)", p.Schema, p.Method, path)
+			}
+			if p.Method == "det" || p.Method == "decomposed" {
+				if p.Resamplings != 0 {
+					t.Errorf("detlll %s/%s recorded %.2f resamplings; the deterministic path takes none (%s)",
+						p.Schema, p.Method, p.Resamplings, path)
+				}
+				if p.Distinct != 1 {
+					t.Errorf("detlll %s/%s recorded %d distinct outputs across seeds; deterministic advice must be seed-independent (%s)",
+						p.Schema, p.Method, p.Distinct, path)
+				}
+			}
+		}
+		if len(dl.Warm) == 0 {
+			t.Errorf("recorded detlll sweep has no warm-cache contrast (%s)", path)
+		}
+		for _, w := range dl.Warm {
+			t.Logf("detlll %s warm: det hit rate %.2f vs seeded %.2f over %d rotating-seed requests (%s)",
+				w.Schema, w.DetHitRate, w.SeededHitRate, w.Requests, path)
+			if w.DetHitRate <= w.SeededHitRate {
+				t.Errorf("detlll %s det-mode warm hit rate %.2f is not above the seeded %.2f (%s)",
+					w.Schema, w.DetHitRate, w.SeededHitRate, path)
+			}
 		}
 	}
 

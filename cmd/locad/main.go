@@ -67,6 +67,8 @@ func run(args []string) error {
 		return cmdMsgred(args[1:])
 	case "decomp":
 		return cmdDecomp(args[1:])
+	case "detlll":
+		return cmdDetLLL(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
 	case "fault":
@@ -122,6 +124,12 @@ subcommands:
                     benchmarks the scheduler with low-cut ball shards vs
                     contiguous index shards (-graphs -sched-workers -reps
                     -json)
+  detlll            compare LLL resolution methods (seeded Moser-Tardos vs the
+                    deterministic conditional-expectations and decomposed
+                    solvers) on one graph: solver work, seed-independence of
+                    the advice, and the det-mode schemas' warm cache hit-rate
+                    advantage under rotating request seeds (-schemas -seeds
+                    -cap -json)
   trace             run the engine workload with metrics attached and write a
                     JSONL per-round trace (-o <file>, -profile <cpu.pprof>)
   fault             inject faults (-class {flip,truncate,reassign,crash}) into

@@ -51,6 +51,8 @@ func TestRunSubcommands(t *testing.T) {
 		{"decomp", []string{"decomp", "-graph", "grid", "-n", "100", "-beta", "0.3"}},
 		{"decomp gnp", []string{"decomp", "-graph", "gnp", "-n", "64", "-beta", "0.5", "-workers", "2"}},
 		{"decomp sched", []string{"decomp", "-sched", "-graphs", "grid,gnp", "-n", "144", "-sched-workers", "2", "-reps", "1", "-json"}},
+		{"detlll", []string{"detlll", "-graph", "cycle", "-n", "96", "-seeds", "2", "-no-warm"}},
+		{"detlll json warm", []string{"detlll", "-graph", "cycle", "-n", "96", "-seeds", "2", "-schemas", "orient", "-json"}},
 		{"prove mis", []string{"prove", "-graph", "cycle", "-n", "150", "-problem", "mis", "-radius", "25"}},
 		{"help", []string{"help"}},
 	}
@@ -80,6 +82,8 @@ func TestRunErrors(t *testing.T) {
 		{"msgred negative rho", []string{"msgred", "-graph", "cycle", "-n", "32", "-rho", "-2"}},
 		{"decomp bad beta", []string{"decomp", "-graph", "cycle", "-n", "32", "-beta", "-1"}},
 		{"decomp bad sched workers", []string{"decomp", "-sched", "-sched-workers", "1"}},
+		{"detlll bad schema", []string{"detlll", "-schemas", "mystery"}},
+		{"detlll bad seeds", []string{"detlll", "-seeds", "0"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -128,7 +132,7 @@ func TestHead(t *testing.T) {
 func TestUsageMentionsAllSubcommands(t *testing.T) {
 	// usage writes to stderr; just ensure the command table stays in sync
 	// by checking run() dispatches everything usage lists.
-	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "msgred", "decomp", "prove", "verifyproof"} {
+	for _, sub := range []string{"exp", "orient", "color3", "deltacolor", "compress", "graphinfo", "engine", "msgred", "decomp", "detlll", "prove", "verifyproof"} {
 		// Dispatching with bad flags still proves the subcommand exists:
 		// flag parse errors differ from "unknown subcommand".
 		err := run([]string{sub, "-definitely-not-a-flag"})

@@ -22,9 +22,34 @@ func (t ThreeColoring) Decode(g *graph.Graph, advice local.Advice) (*lcl.Solutio
 			return nil, local.Stats{}, fmt.Errorf("coloring: node %d holds %d bits, want 1", v, s.Len())
 		}
 	}
-	outputs, stats := local.RunBall(g, advice, t.DecodeRadius(), func(view *local.View) any {
-		return t.decodeNode(view)
-	})
+	outputs, stats := local.RunBall(g, advice, t.DecodeRadius(), t.decodeNode)
+	return t.assembleColors(stats, g, outputs)
+}
+
+// DecodeOn is Decode running on a named engine (local.EngineNames) via
+// local.RunDecider — the dispatch the engine-equivalence and
+// seed-independence walls sweep.
+func (t ThreeColoring) DecodeOn(engine string, g *graph.Graph, advice local.Advice, cfg local.RunConfig) (*lcl.Solution, local.Stats, error) {
+	if err := t.validate(); err != nil {
+		return nil, local.Stats{}, err
+	}
+	if len(advice) != g.N() {
+		return nil, local.Stats{}, fmt.Errorf("coloring: advice length %d for %d nodes", len(advice), g.N())
+	}
+	for v, s := range advice {
+		if s.Len() != 1 {
+			return nil, local.Stats{}, fmt.Errorf("coloring: node %d holds %d bits, want 1", v, s.Len())
+		}
+	}
+	outputs, stats, err := local.RunDecider(engine, g, advice, t.DecodeRadius(), t.decodeNode, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	return t.assembleColors(stats, g, outputs)
+}
+
+// assembleColors collects per-node color outputs into a solution.
+func (t ThreeColoring) assembleColors(stats local.Stats, g *graph.Graph, outputs []any) (*lcl.Solution, local.Stats, error) {
 	sol := lcl.NewSolution(g)
 	for v, out := range outputs {
 		if err, isErr := out.(error); isErr {

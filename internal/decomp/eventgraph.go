@@ -1,0 +1,68 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"localadvice/internal/graph"
+)
+
+// EventGraph builds the dependency graph of a constraint system: one node
+// per event, an edge between two events iff they share a variable. It is
+// the adapter between internal/lll's compiled instances and Decompose —
+// the deterministic decomposed solver partitions this graph into
+// low-diameter balls and runs conditional expectations ball-by-ball.
+//
+// vars(e) lists the variables of event e; duplicate occurrences (within one
+// event or across the pair) are deduplicated, self-loops never arise, and
+// edges are inserted in sorted order so the adjacency structure — and
+// therefore any seeded decomposition of it — is a pure function of the
+// incidence, independent of callback iteration quirks.
+func EventGraph(events int, vars func(event int) []int) (*graph.Graph, error) {
+	if events < 0 {
+		return nil, fmt.Errorf("decomp: negative event count %d", events)
+	}
+	if vars == nil && events > 0 {
+		return nil, fmt.Errorf("decomp: nil vars callback")
+	}
+	byVar := make(map[int][]int)
+	for e := 0; e < events; e++ {
+		for _, v := range vars(e) {
+			if v < 0 {
+				return nil, fmt.Errorf("decomp: event %d references negative variable %d", e, v)
+			}
+			bucket := byVar[v]
+			// Events are scanned in increasing order, so a duplicate listing
+			// of v inside event e lands at the bucket tail — skip it there.
+			if len(bucket) > 0 && bucket[len(bucket)-1] == e {
+				continue
+			}
+			byVar[v] = append(bucket, e)
+		}
+	}
+	type pair struct{ u, v int }
+	var pairs []pair
+	for _, bucket := range byVar {
+		for i := 0; i < len(bucket); i++ {
+			for j := i + 1; j < len(bucket); j++ {
+				pairs = append(pairs, pair{bucket[i], bucket[j]})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].u != pairs[b].u {
+			return pairs[a].u < pairs[b].u
+		}
+		return pairs[a].v < pairs[b].v
+	})
+	g := graph.New(events)
+	for i, p := range pairs {
+		if i > 0 && p == pairs[i-1] {
+			continue
+		}
+		if _, err := g.AddEdge(p.u, p.v); err != nil {
+			return nil, fmt.Errorf("decomp: event graph edge {%d,%d}: %w", p.u, p.v, err)
+		}
+	}
+	return g, nil
+}

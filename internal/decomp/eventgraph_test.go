@@ -1,0 +1,96 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEventGraphStructure pins the adapter on a hand-checked system:
+// events sharing a variable are adjacent, disjoint events are not,
+// duplicate variable listings collapse, and no self-loops arise.
+func TestEventGraphStructure(t *testing.T) {
+	events := [][]int{
+		{0, 1},       // shares 1 with e1
+		{1, 2, 2, 1}, // duplicates must not create multi-edges
+		{3},          // isolated
+		{2, 0},       // shares 2 with e1 and 0 with e0
+	}
+	g, err := EventGraph(len(events), func(e int) []int { return events[e] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != len(events) {
+		t.Fatalf("N = %d, want %d", g.N(), len(events))
+	}
+	wantEdges := map[[2]int]bool{{0, 1}: true, {0, 3}: true, {1, 3}: true}
+	if g.M() != len(wantEdges) {
+		t.Fatalf("M = %d, want %d", g.M(), len(wantEdges))
+	}
+	for pair := range wantEdges {
+		if !g.HasEdge(pair[0], pair[1]) {
+			t.Errorf("missing edge %v", pair)
+		}
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("isolated event 2 has degree %d", g.Degree(2))
+	}
+}
+
+// TestEventGraphDeterministic pins that the event graph — and a seeded
+// decomposition of it — is a pure function of the incidence structure,
+// which is what keeps SolveDecomposed seed-independent.
+func TestEventGraphDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	events := make([][]int, 60)
+	for e := range events {
+		k := 2 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			events[e] = append(events[e], rng.Intn(25))
+		}
+	}
+	first, err := EventGraph(len(events), func(e int) []int { return events[e] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := EventGraph(len(events), func(e int) []int { return events[e] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Digest() != first.Digest() {
+			t.Fatalf("run %d: event graph digest diverged", i)
+		}
+	}
+	d1, err := Decompose(first, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decompose(first, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Balls() != d2.Balls() {
+		t.Fatal("seeded decomposition of the event graph is not reproducible")
+	}
+}
+
+// TestEventGraphErrors pins the typed validation: negative counts, nil
+// callbacks, and negative variables are rejected.
+func TestEventGraphErrors(t *testing.T) {
+	if _, err := EventGraph(-1, nil); err == nil {
+		t.Error("negative event count accepted")
+	}
+	if _, err := EventGraph(2, nil); err == nil {
+		t.Error("nil vars callback accepted")
+	}
+	if _, err := EventGraph(1, func(int) []int { return []int{-3} }); err == nil {
+		t.Error("negative variable accepted")
+	}
+	g, err := EventGraph(0, nil)
+	if err != nil {
+		t.Fatalf("empty system rejected: %v", err)
+	}
+	if g.N() != 0 {
+		t.Errorf("empty system produced %d nodes", g.N())
+	}
+}

@@ -476,3 +476,57 @@ func Petersen() *Graph {
 	}
 	return g
 }
+
+// TryTriangularStrip returns the "hairy" triangular strip on 4k nodes: two
+// rails a_0..a_{k-1}, b_0..b_{k-1} with rungs a_i–b_i, rail edges
+// a_i–a_{i+1}, b_i–b_{i+1}, diagonals a_i–b_{i+1}, and one pendant leaf on
+// every rail node. The strip is 3-chromatic (each step closes a triangle)
+// and its color-{2,3} subgraph forms one long component whose color-1
+// pendant leaves make the Lemma 7.2 mark-group candidates feasible — the
+// family that actually exercises the Section 7 group machinery, which
+// cycles, grids and tori never reach.
+func TryTriangularStrip(k int) (*Graph, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: triangular strip needs k >= 2, got %d", ErrBadSize, k)
+	}
+	g := New(4 * k)
+	a := func(i int) int { return 4 * i }
+	b := func(i int) int { return 4*i + 1 }
+	for i := 0; i < k; i++ {
+		g.MustAddEdge(a(i), b(i))
+		g.MustAddEdge(a(i), 4*i+2) // pendant leaf of a_i
+		g.MustAddEdge(b(i), 4*i+3) // pendant leaf of b_i
+		if i+1 < k {
+			g.MustAddEdge(a(i), a(i+1))
+			g.MustAddEdge(b(i), b(i+1))
+			g.MustAddEdge(a(i), b(i+1))
+		}
+	}
+	return g, nil
+}
+
+// TriangularStrip returns the hairy triangular strip on 4k nodes (k >= 2);
+// it panics on a bad size.
+func TriangularStrip(k int) *Graph { return mustGen(TryTriangularStrip(k)) }
+
+// TryChordedCycle returns the squared cycle with pendant leaves on 2n
+// nodes: cycle c_0..c_{n-1} with distance-2 chords c_i–c_{i+2} and one
+// pendant leaf per cycle node. Like the triangular strip it is 3-chromatic
+// with a single long color-{2,3} component and leaf-provided color-1
+// neighbors, so the Section 7 ruling-group placement runs for real on it.
+func TryChordedCycle(n int) (*Graph, error) {
+	if n < 5 {
+		return nil, fmt.Errorf("%w: chorded cycle needs n >= 5, got %d", ErrBadSize, n)
+	}
+	g := New(2 * n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+		g.MustAddEdge(i, (i+2)%n)
+		g.MustAddEdge(i, n+i) // pendant leaf
+	}
+	return g, nil
+}
+
+// ChordedCycle returns the chorded cycle with leaves on 2n nodes (n >= 5);
+// it panics on a bad size.
+func ChordedCycle(n int) *Graph { return mustGen(TryChordedCycle(n)) }

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{ID: "E9", Title: "Fault injection: detection vs silent invalid outputs", Run: RunE9},
 		{ID: "E10", Title: "Frugal engine: skeleton message reduction vs stock scheduler", Run: RunE10},
 		{ID: "E11", Title: "Low-diameter decomposition: balls, radii and cut fraction vs beta", Run: RunE11},
+		{ID: "E12", Title: "Deterministic LLL: conditional expectations vs Moser-Tardos across seeds", Run: RunE12},
 	}
 }
 

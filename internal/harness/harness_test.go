@@ -41,8 +41,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Error("unknown experiment found")
 	}
-	if len(IDs()) != 11 {
-		t.Errorf("IDs = %v, want 11 experiments", IDs())
+	if len(IDs()) != 12 {
+		t.Errorf("IDs = %v, want 12 experiments", IDs())
 	}
 }
 

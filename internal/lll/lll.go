@@ -22,11 +22,37 @@
 package lll
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"localadvice/internal/obs"
 )
+
+// ErrResamplingCap tags runs that exhausted their resampling budget. The
+// concrete error is a *ResamplingCapError carrying the event that was about
+// to be resampled and the count reached, so callers can report the stuck
+// point without parsing the message:
+//
+//	var cap *lll.ResamplingCapError
+//	if errors.As(err, &cap) { ... cap.Event, cap.Resamplings ... }
+var ErrResamplingCap = errors.New("lll: resampling cap exceeded")
+
+// ResamplingCapError is the typed form of ErrResamplingCap: Solve hit
+// maxResamplings while Event was still violated (and about to be resampled
+// next), after Resamplings resampling steps with Violated events still bad.
+type ResamplingCapError struct {
+	Event       int // lowest-indexed violated event at the moment the cap hit
+	Resamplings int // resampling steps performed (== the configured cap)
+	Violated    int // events still violated
+}
+
+func (e *ResamplingCapError) Error() string {
+	return fmt.Sprintf("lll: exceeded %d resamplings with %d events still violated (next event %d)",
+		e.Resamplings, e.Violated, e.Event)
+}
+
+func (e *ResamplingCapError) Unwrap() error { return ErrResamplingCap }
 
 // Instance describes a constraint-satisfaction instance for Moser–Tardos.
 // Variables are indexed 0..NumVars-1; variable i takes values in
@@ -104,10 +130,17 @@ func (in *Instance) compile() (*compiled, error) {
 func (c *compiled) vars(e int) []int     { return c.evVars[c.evOff[e]:c.evOff[e+1]] }
 func (c *compiled) eventsOf(v int) []int { return c.veEvents[c.veOff[v]:c.veOff[v+1]] }
 
-// Result reports the outcome of a Solve call.
+// Result reports the outcome of a solver call. Resamplings counts
+// Moser–Tardos resampling steps (always 0 on the deterministic paths);
+// Evaluations counts Bad-predicate calls — the work unit shared by the
+// randomized and deterministic solvers, which is what E12 compares;
+// Repairs counts the local-search moves of the deterministic paths'
+// cleanup pass (always 0 for Solve).
 type Result struct {
 	Assignment  []int
 	Resamplings int
+	Evaluations int
+	Repairs     int
 }
 
 // minHeap is a binary min-heap of event indices with no deduplication; the
@@ -168,9 +201,10 @@ func Solve(in *Instance, rng *rand.Rand, maxResamplings int) (Result, error) {
 
 // SolveObserved is Solve reporting into the given collector: on success it
 // emits "lll.resamplings" (the resampling count — the paper's expected-
-// linear work bound, measured), "lll.initial_violated" (bad events after
-// the initial uniform sample) and "lll.events" (instance size). A nil
-// collector records nothing and costs nothing.
+// linear work bound, measured), "lll.evaluations" (Bad-predicate calls,
+// the work unit shared with the deterministic solvers), "lll.initial_violated"
+// (bad events after the initial uniform sample) and "lll.events" (instance
+// size). A nil collector records nothing and costs nothing.
 func SolveObserved(in *Instance, rng *rand.Rand, maxResamplings int, m *obs.Collector) (Result, error) {
 	c, err := in.compile()
 	if err != nil {
@@ -186,7 +220,9 @@ func SolveObserved(in *Instance, rng *rand.Rand, maxResamplings int, m *obs.Coll
 	// array is a valid binary min-heap, so the initial scan needs no sifting.
 	violated := make([]bool, in.NumEvents)
 	heap := make(minHeap, 0, in.NumEvents)
+	evaluations := 0
 	for e := 0; e < in.NumEvents; e++ {
+		evaluations++
 		if in.Bad(e, assignment) {
 			violated[e] = true
 			heap = append(heap, int32(e))
@@ -217,7 +253,7 @@ func SolveObserved(in *Instance, rng *rand.Rand, maxResamplings int, m *obs.Coll
 					still++
 				}
 			}
-			return Result{}, fmt.Errorf("lll: exceeded %d resamplings with %d events still violated", maxResamplings, still)
+			return Result{}, &ResamplingCapError{Event: event, Resamplings: resamplings, Violated: still}
 		}
 		vars := c.vars(event)
 		for _, v := range vars {
@@ -233,6 +269,7 @@ func SolveObserved(in *Instance, rng *rand.Rand, maxResamplings int, m *obs.Coll
 					continue
 				}
 				seen[e] = resamplings
+				evaluations++
 				if in.Bad(e, assignment) {
 					if !violated[e] {
 						violated[e] = true
@@ -246,8 +283,9 @@ func SolveObserved(in *Instance, rng *rand.Rand, maxResamplings int, m *obs.Coll
 	}
 	if m.Enabled() {
 		m.Emit("lll.resamplings", "", int64(resamplings))
+		m.Emit("lll.evaluations", "", int64(evaluations))
 	}
-	return Result{Assignment: assignment, Resamplings: resamplings}, nil
+	return Result{Assignment: assignment, Resamplings: resamplings, Evaluations: evaluations}, nil
 }
 
 // SymmetricConditionHolds reports whether e·p·(d+1) <= 1 for the given

@@ -46,6 +46,21 @@ type RunConfig struct {
 	// fewer skeleton edges but a larger 2ρ+1 round overhead.
 	FrugalRadius int
 
+	// DetLLL selects the deterministic LLL pipeline for schemas whose
+	// advice placement is an LLL instance (orient shift placement, the
+	// ruling-group selection of the 3-coloring schema): encoders resolve
+	// the instance by conditional expectations instead of Moser–Tardos
+	// resampling, so the advice — and therefore every engine output — is a
+	// pure function of the graph, bit-identical across engines, worker
+	// counts, AND rng seeds. The engines themselves never read it (advice
+	// is fixed before a run starts); it rides on RunConfig because RunConfig
+	// is the one configuration value threaded from the CLI/server/harness
+	// down to every schema execution, and the schema adapters
+	// (harness.DetSchemas, the server's det-mode schema entries) consult it
+	// when choosing the encoder. Derived cache keys for det-mode artifacts
+	// drop the seed component (DESIGN.md decision 12).
+	DetLLL bool
+
 	// Partition, when non-nil, replaces the sharded scheduler's contiguous
 	// node-index shards with custom node lists (e.g. the low-cut ball
 	// shards of decomp.ShardPartition). It is called once per run, after

@@ -9,21 +9,56 @@ import (
 	"localadvice/internal/core"
 	"localadvice/internal/graph"
 	"localadvice/internal/lcl"
+	"localadvice/internal/lll"
+	"localadvice/internal/obs"
 )
 
 // This file implements the paper's original mark-placement strategy for the
 // Section 5 schema: plan marks at evenly spaced trail positions and then
 // SHIFT each mark by a bounded random amount so that no two marks conflict,
-// exactly the Lovász-Local-Lemma argument of Lemma 5.1 — made constructive
-// with Moser–Tardos resampling (internal/lll). The greedy placement in
-// schema.go is the deterministic engineering default; EncodeVarLLL is the
-// faithful-to-the-proof alternative, and the two are compared in tests and
-// in the E3 ablation.
+// exactly the Lovász-Local-Lemma argument of Lemma 5.1. The shift system is
+// expressed once as an lll.Instance (variable i = shift of plan i; arity-1
+// "clamp" events for shifts pushed past the trail end, arity-2 conflict
+// events for interacting plan pairs) and solved three ways: constructively
+// randomized with Moser–Tardos (EncodeVarLLL), derandomized by conditional
+// expectations (EncodeVarDet), and derandomized ball-by-ball over the event
+// dependency graph's low-diameter decomposition (EncodeVarDecomposed). The
+// greedy placement in schema.go remains the deterministic engineering
+// default; the three LLL paths are the faithful-to-the-proof alternatives,
+// compared in tests and in the E3/E12 ablations.
 
-// EncodeVarLLL computes the same advice layout as Schema.EncodeVar but
-// places the marked pairs with Moser–Tardos shifting instead of greedy
-// first-fit. rng drives the resampling; maxResamplings caps the work.
-func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int) (core.VarAdvice, error) {
+// shiftPlan is one planned marked pair: a base trail position plus the
+// trail's canonical direction bit.
+type shiftPlan struct {
+	trail  int
+	base   int
+	dirBit int
+}
+
+// shiftSystem is the compiled Lemma 5.1 shift-placement constraint system.
+type shiftSystem struct {
+	schema Schema
+	dec    *Decomposition
+	plans  []shiftPlan
+	inst   *lll.Instance
+}
+
+// pairAt resolves plan i under shift to its marked pair of trail nodes.
+func (sys *shiftSystem) pairAt(i, shift int) (a, b int, ok bool) {
+	pl := sys.plans[i]
+	t := &sys.dec.Trails[pl.trail]
+	p := pl.base + shift
+	if p+1 >= len(t.Nodes) {
+		return 0, 0, false
+	}
+	a, b = t.Nodes[p], t.Nodes[p+1]
+	return a, b, a != b
+}
+
+// buildShiftSystem plans the marks and compiles the shift constraints into
+// an lll.Instance. A nil system (no error) means the graph has no long
+// trails and needs no marks at all.
+func (s Schema) buildShiftSystem(g *graph.Graph) (*shiftSystem, error) {
 	if err := s.P.validate(); err != nil {
 		return nil, err
 	}
@@ -31,12 +66,7 @@ func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int)
 
 	// Plan: for each long trail, base positions every MarkSpacing steps;
 	// each mark may shift forward by up to MarkWindow-1 steps.
-	type plan struct {
-		trail  int
-		base   int
-		dirBit int
-	}
-	var plans []plan
+	var plans []shiftPlan
 	for id := range dec.Trails {
 		t := &dec.Trails[id]
 		if t.Len() <= s.P.shortBound() {
@@ -47,36 +77,24 @@ func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int)
 			dirBit = 1
 		}
 		for base := 0; base+1 < t.Len(); base += s.P.MarkSpacing {
-			plans = append(plans, plan{trail: id, base: base, dirBit: dirBit})
+			plans = append(plans, shiftPlan{trail: id, base: base, dirBit: dirBit})
 		}
 	}
 	if len(plans) == 0 {
-		return core.VarAdvice{}, nil
+		return nil, nil
 	}
-
-	// Variable i = shift of plan i, in [0, window). The pair occupies
-	// trail positions (p, p+1) with p = base + shift, clamped into range.
-	window := s.P.MarkWindow
-	pairAt := func(i, shift int) (a, b int, ok bool) {
-		pl := plans[i]
-		t := &dec.Trails[pl.trail]
-		p := pl.base + shift
-		if p+1 >= len(t.Nodes) {
-			return 0, 0, false
-		}
-		a, b = t.Nodes[p], t.Nodes[p+1]
-		return a, b, a != b
-	}
+	sys := &shiftSystem{schema: s, dec: dec, plans: plans}
 
 	// Conflicts: two pairs sharing a node, or a node of one pair adjacent
 	// to a node of the other (the role-ambiguity rule of schema.go).
 	// Precompute which plan pairs can interact at all: their reachable
 	// node sets within the shift window must come within distance 1.
+	window := s.P.MarkWindow
 	reach := make([]map[int]bool, len(plans))
 	for i := range plans {
 		reach[i] = map[int]bool{}
 		for sft := 0; sft < window; sft++ {
-			if a, bnode, ok := pairAt(i, sft); ok {
+			if a, bnode, ok := sys.pairAt(i, sft); ok {
 				reach[i][a] = true
 				reach[i][bnode] = true
 				for _, u := range g.Neighbors(a) {
@@ -88,7 +106,8 @@ func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int)
 			}
 		}
 	}
-	var events []shiftEvent
+	type pairEvent struct{ i, j int }
+	var pairs []pairEvent
 	for i := range plans {
 		for j := i + 1; j < len(plans); j++ {
 			touch := false
@@ -99,14 +118,14 @@ func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int)
 				}
 			}
 			if touch {
-				events = append(events, shiftEvent{i, j})
+				pairs = append(pairs, pairEvent{i, j})
 			}
 		}
 	}
 
 	conflict := func(i, si, j, sj int) bool {
-		ai, bi, oki := pairAt(i, si)
-		aj, bj, okj := pairAt(j, sj)
+		ai, bi, oki := sys.pairAt(i, si)
+		aj, bj, okj := sys.pairAt(j, sj)
 		if !oki || !okj {
 			return true // a clamped-out plan is itself a violation
 		}
@@ -124,29 +143,39 @@ func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int)
 		return false
 	}
 
-	inst := &lllInstance{
-		numVars: len(plans),
-		domain:  window,
-		events:  events,
-		bad: func(e int, a []int) bool {
-			ev := events[e]
+	// Events 0..P-1 are the per-plan clamp events (bad iff the shift pushes
+	// the pair past the trail end); events P.. are the pairwise conflicts.
+	numPlans := len(plans)
+	sys.inst = &lll.Instance{
+		NumVars:    numPlans,
+		DomainSize: func(int) int { return window },
+		NumEvents:  numPlans + len(pairs),
+		Vars: func(e int) []int {
+			if e < numPlans {
+				return []int{e}
+			}
+			ev := pairs[e-numPlans]
+			return []int{ev.i, ev.j}
+		},
+		Bad: func(e int, a []int) bool {
+			if e < numPlans {
+				_, _, ok := sys.pairAt(e, a[e])
+				return !ok
+			}
+			ev := pairs[e-numPlans]
 			return conflict(ev.i, a[ev.i], ev.j, a[ev.j])
 		},
-		vars: func(e int) []int { return []int{events[e].i, events[e].j} },
 	}
-	assignment, err := inst.solve(rng, maxResamplings, func(i, sft int) bool {
-		_, _, ok := pairAt(i, sft)
-		return !ok
-	})
-	if err != nil {
-		return nil, fmt.Errorf("orient: LLL placement: %w", err)
-	}
+	return sys, nil
+}
 
-	// Materialize the advice and verify coverage per trail.
+// materialize turns a solved shift assignment into the advice layout of
+// Schema.EncodeVar and verifies coverage per trail.
+func (sys *shiftSystem) materialize(assignment []int) (core.VarAdvice, error) {
 	va := make(core.VarAdvice)
 	perTrail := map[int][]int{}
-	for i, pl := range plans {
-		a, bnode, ok := pairAt(i, assignment[i])
+	for i, pl := range sys.plans {
+		a, bnode, ok := sys.pairAt(i, assignment[i])
 		if !ok {
 			return nil, fmt.Errorf("orient: LLL produced a clamped plan")
 		}
@@ -156,100 +185,83 @@ func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int)
 	}
 	for id, positions := range perTrail {
 		sort.Ints(positions)
-		if err := s.checkCoverage(&dec.Trails[id], positions); err != nil {
+		if err := sys.schema.checkCoverage(&sys.dec.Trails[id], positions); err != nil {
 			return nil, fmt.Errorf("orient: LLL placement, trail %d: %w", id, err)
 		}
 	}
 	return va, nil
 }
 
-// lllInstance adapts the pairwise-conflict structure to internal/lll
-// without importing it here... it reimplements the tiny resampling loop so
-// the per-plan clamp events (which depend on a single variable) can be
-// folded in directly.
-// shiftEvent is a potential conflict between two planned marks.
-type shiftEvent struct{ i, j int }
-
-type lllInstance struct {
-	numVars int
-	domain  int
-	events  []shiftEvent
-	bad     func(e int, a []int) bool
-	vars    func(e int) []int
+// EncodeVarLLL computes the same advice layout as Schema.EncodeVar but
+// places the marked pairs with Moser–Tardos shifting instead of greedy
+// first-fit. rng drives the resampling; maxResamplings caps the work (a
+// blown cap surfaces as an error wrapping lll.ErrResamplingCap).
+func (s Schema) EncodeVarLLL(g *graph.Graph, rng *rand.Rand, maxResamplings int) (core.VarAdvice, error) {
+	return s.EncodeVarLLLObserved(g, rng, maxResamplings, obs.Default())
 }
 
-func (in *lllInstance) solve(rng *rand.Rand, maxResamplings int, clampBad func(i, shift int) bool) ([]int, error) {
-	a := make([]int, in.numVars)
-	for i := range a {
-		a[i] = rng.Intn(in.domain)
-	}
-	varToEvents := make([][]int, in.numVars)
-	for e := range in.events {
-		for _, v := range in.vars(e) {
-			varToEvents[v] = append(varToEvents[v], e)
-		}
-	}
-	violated := map[int]bool{}
-	checkAll := func() {
-		for e := range in.events {
-			if in.bad(e, a) {
-				violated[e] = true
-			} else {
-				delete(violated, e)
-			}
-		}
-	}
-	// Clamp events are resolved eagerly: resample the single variable.
-	fixClamps := func() error {
-		for i := 0; i < in.numVars; i++ {
-			tries := 0
-			for clampBad(i, a[i]) {
-				a[i] = rng.Intn(in.domain)
-				tries++
-				if tries > 10*in.domain {
-					return fmt.Errorf("variable %d has no feasible shift", i)
-				}
-			}
-		}
-		return nil
-	}
-	if err := fixClamps(); err != nil {
+// EncodeVarLLLObserved is EncodeVarLLL reporting solver metrics
+// (lll.resamplings, lll.evaluations, …) into an explicit collector.
+func (s Schema) EncodeVarLLLObserved(g *graph.Graph, rng *rand.Rand, maxResamplings int, m *obs.Collector) (core.VarAdvice, error) {
+	sys, err := s.buildShiftSystem(g)
+	if err != nil {
 		return nil, err
 	}
-	checkAll()
-	resamplings := 0
-	for len(violated) > 0 {
-		if resamplings >= maxResamplings {
-			return nil, fmt.Errorf("exceeded %d resamplings with %d conflicts left", maxResamplings, len(violated))
-		}
-		var e int
-		for k := range violated {
-			e = k
-			break
-		}
-		for _, v := range in.vars(e) {
-			a[v] = rng.Intn(in.domain)
-			tries := 0
-			for clampBad(v, a[v]) {
-				a[v] = rng.Intn(in.domain)
-				tries++
-				if tries > 10*in.domain {
-					return nil, fmt.Errorf("variable %d has no feasible shift", v)
-				}
-			}
-		}
-		resamplings++
-		for _, v := range in.vars(e) {
-			for _, f := range varToEvents[v] {
-				if in.bad(f, a) {
-					violated[f] = true
-				} else {
-					delete(violated, f)
-				}
-			}
-		}
+	if sys == nil {
+		return core.VarAdvice{}, nil
 	}
-	return a, nil
+	res, err := lll.SolveObserved(sys.inst, rng, maxResamplings, m)
+	if err != nil {
+		return nil, fmt.Errorf("orient: LLL placement: %w", err)
+	}
+	return sys.materialize(res.Assignment)
+}
+
+// EncodeVarDet is the derandomized EncodeVarLLL: the shifts are fixed by
+// the method of conditional expectations (lll.SolveDeterministic), so the
+// advice is a pure function of the graph — no RNG, identical across seeds.
+func (s Schema) EncodeVarDet(g *graph.Graph) (core.VarAdvice, error) {
+	return s.EncodeVarDetObserved(g, obs.Default())
+}
+
+// EncodeVarDetObserved is EncodeVarDet with an explicit metrics collector.
+func (s Schema) EncodeVarDetObserved(g *graph.Graph, m *obs.Collector) (core.VarAdvice, error) {
+	sys, err := s.buildShiftSystem(g)
+	if err != nil {
+		return nil, err
+	}
+	if sys == nil {
+		return core.VarAdvice{}, nil
+	}
+	res, err := lll.SolveDeterministicObserved(sys.inst, m)
+	if err != nil {
+		return nil, fmt.Errorf("orient: deterministic LLL placement: %w", err)
+	}
+	return sys.materialize(res.Assignment)
+}
+
+// EncodeVarDecomposed is EncodeVarDet running ball-by-ball over the shift
+// system's event dependency graph (lll.SolveDecomposed) — the
+// network-decomposition-guided derandomization. Also RNG-free.
+func (s Schema) EncodeVarDecomposed(g *graph.Graph) (core.VarAdvice, error) {
+	return s.EncodeVarDecomposedObserved(g, obs.Default())
+}
+
+// EncodeVarDecomposedObserved is EncodeVarDecomposed with an explicit
+// metrics collector.
+func (s Schema) EncodeVarDecomposedObserved(g *graph.Graph, m *obs.Collector) (core.VarAdvice, error) {
+	sys, err := s.buildShiftSystem(g)
+	if err != nil {
+		return nil, err
+	}
+	if sys == nil {
+		return core.VarAdvice{}, nil
+	}
+	res, err := lll.SolveDecomposedObserved(sys.inst, m)
+	if err != nil {
+		return nil, fmt.Errorf("orient: decomposed LLL placement: %w", err)
+	}
+	return sys.materialize(res.Assignment)
 }
 
 // EncodeDecodeLLL is a convenience wrapper: LLL placement, then the standard

@@ -196,13 +196,38 @@ func (s Schema) DecodeVar(g *graph.Graph, va core.VarAdvice, _ []*lcl.Solution) 
 		return nil, local.Stats{}, err
 	}
 	advice := va.Dense(g.N())
-	outputs, stats := local.RunBall(g, advice, s.P.DecodeRadius(), func(view *local.View) any {
-		dirs, err := s.decodeNode(view)
-		if err != nil {
-			return err
-		}
-		return dirs
-	})
+	outputs, stats := local.RunBall(g, advice, s.P.DecodeRadius(), s.viewDecide)
+	return s.assemble(g, outputs, stats)
+}
+
+// DecodeVarOn is DecodeVar running on a named engine (local.EngineNames):
+// the same per-node decide, dispatched through local.RunDecider, so the
+// engine-equivalence and seed-independence walls can pin the decoded
+// orientation bit-identical across all five engines and worker counts.
+func (s Schema) DecodeVarOn(engine string, g *graph.Graph, va core.VarAdvice, cfg local.RunConfig) (*lcl.Solution, local.Stats, error) {
+	if err := s.P.validate(); err != nil {
+		return nil, local.Stats{}, err
+	}
+	advice := va.Dense(g.N())
+	outputs, stats, err := local.RunDecider(engine, g, advice, s.P.DecodeRadius(), s.viewDecide, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	return s.assemble(g, outputs, stats)
+}
+
+// viewDecide adapts decodeNode to the engines' decide signature: errors
+// become the node's output value, inspected during assembly.
+func (s Schema) viewDecide(view *local.View) any {
+	dirs, err := s.decodeNode(view)
+	if err != nil {
+		return err
+	}
+	return dirs
+}
+
+// assemble cross-checks the per-node edge claims into an orientation.
+func (s Schema) assemble(g *graph.Graph, outputs []any, stats local.Stats) (*lcl.Solution, local.Stats, error) {
 	sol := lcl.NewSolution(g)
 	for v, out := range outputs {
 		if err, isErr := out.(error); isErr {

@@ -62,6 +62,12 @@ func SpecCacheKey(spec GraphSpec) (string, error) {
 type cachedGraph struct {
 	g      *graph.Graph
 	digest string
+	// seed is the request spec's generator seed (0 for inline edge lists).
+	// Seed-dependent schemas fold it into their advice keys; the generated
+	// families that ignore their seed (cycle, path, grid, torus) therefore
+	// produce one graph digest but many advice artifacts under a seeded
+	// schema — and exactly one under a det-mode schema.
+	seed int64
 }
 
 // decodeArtifact is the resident form of a decode result.
@@ -185,7 +191,9 @@ func (s *Server) resolveGraph(spec GraphSpec, cached bool, src string) (*cachedG
 				"graph has %d nodes, server bound is %d", g.N(), s.cfg.MaxNodes)
 		}
 		g.Snapshot() // prebuild the CSR so every later engine run reuses it
-		return &cachedGraph{g: g, digest: g.Digest()}, graphSize(g), nil
+		// The LRU key is the spec key, which includes the seed, so the
+		// cached entry's seed always matches the request that hits it.
+		return &cachedGraph{g: g, digest: g.Digest(), seed: spec.Seed}, graphSize(g), nil
 	})
 	if err != nil {
 		return nil, false, err
@@ -251,7 +259,13 @@ func (s *Server) encodeAdvice(sc *schemaEntry, cg *cachedGraph, cached bool, src
 		}
 		s.engineComputes.Add(1)
 		encStart := time.Now()
-		advice, err := sc.Encode(cg.g)
+		var advice local.Advice
+		var err error
+		if sc.EncodeSeeded != nil {
+			advice, err = sc.EncodeSeeded(cg.g, cg.seed)
+		} else {
+			advice, err = sc.Encode(cg.g)
+		}
 		s.engineComputeNanos.Add(time.Since(encStart).Nanoseconds())
 		if err != nil {
 			return nil, 0, errf(http.StatusUnprocessableEntity, "unencodable",
@@ -367,9 +381,18 @@ func (s *Server) resolveTable(sc *schemaEntry, cg *cachedGraph, advice local.Adv
 	return tv.(*eth.Table), nil
 }
 
-// adviceKey/tableKey build the §7 digest-derived artifact keys.
+// adviceKey/tableKey build the §7 digest-derived artifact keys. Advice of a
+// seed-dependent schema additionally carries the request's graph seed: the
+// Moser–Tardos output is a function of (graph, seed), and two seeds must
+// never share a cached artifact. Det-mode schemas omit the component — the
+// conditional-expectations output is a pure function of the graph, so every
+// seed variant of a spec resolves to one key (DESIGN.md decision 12).
 func adviceKey(sc *schemaEntry, cg *cachedGraph) string {
-	return "advice:" + cg.digest + ":" + sc.Name + "@" + sc.Params
+	key := "advice:" + cg.digest + ":" + sc.Name + "@" + sc.Params
+	if sc.SeedDependent {
+		key += fmt.Sprintf(":seed=%d", cg.seed)
+	}
+	return key
 }
 
 func tableKey(sc *schemaEntry, cg *cachedGraph, advDigest string) string {

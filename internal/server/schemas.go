@@ -27,8 +27,18 @@ type schemaEntry struct {
 	Params string
 	// Problem is the LCL the decoded output is verified against.
 	Problem func(g *graph.Graph) lcl.Problem
-	// Encode computes the prover's advice.
+	// Encode computes the prover's advice. Nil when EncodeSeeded is set.
 	Encode func(g *graph.Graph) (local.Advice, error)
+	// EncodeSeeded computes seed-dependent advice (the Moser–Tardos LLL
+	// path): the output is a function of (graph, seed), so the graph digest
+	// alone does not determine it. Entries setting it must set SeedDependent.
+	EncodeSeeded func(g *graph.Graph, seed int64) (local.Advice, error)
+	// SeedDependent widens the advice cache key with the request's graph
+	// seed (":seed=N"). Deterministic-LLL schemas leave it false — their
+	// advice is a pure function of the graph, so requests under rotating
+	// seeds share one cached artifact (DESIGN.md decision 12); that delta
+	// in warm hit rate is what the "detlll" bench section measures.
+	SeedDependent bool
 	// Decode runs the LOCAL decoder (nil when Compile is set).
 	Decode func(g *graph.Graph, advice local.Advice) (*lcl.Solution, local.Stats, error)
 	// Compile materializes the decoder as an eth.Table; decode requests then
@@ -63,6 +73,37 @@ func buildSchemas() map[string]*schemaEntry {
 			Problem: fs.Problem,
 			Encode:  fs.Encode,
 			Decode:  fs.Decode,
+		}
+	}
+	// The deterministic-LLL pipeline serves each LLL-backed schema twice:
+	// "<name>lll" places advice by seeded Moser–Tardos (seed-dependent cache
+	// keys — every distinct request seed is a distinct artifact) and
+	// "<name>det" by conditional expectations (seedless keys — one artifact
+	// per graph digest, whatever seeds the requests rotate through).
+	for _, ds := range harness.DetSchemas() {
+		ds := ds
+		out[ds.Name+"lll"] = &schemaEntry{
+			Name:          ds.Name + "lll",
+			Params:        params[ds.Name] + ",method=mt",
+			Problem:       ds.Problem,
+			SeedDependent: true,
+			EncodeSeeded: func(g *graph.Graph, seed int64) (local.Advice, error) {
+				return ds.EncodeWith(harness.MethodMT, g, seed, nil)
+			},
+			Decode: func(g *graph.Graph, advice local.Advice) (*lcl.Solution, local.Stats, error) {
+				return ds.DecodeOn("ball", g, advice, local.RunConfig{})
+			},
+		}
+		out[ds.Name+"det"] = &schemaEntry{
+			Name:    ds.Name + "det",
+			Params:  params[ds.Name] + ",method=det",
+			Problem: ds.Problem,
+			Encode: func(g *graph.Graph) (local.Advice, error) {
+				return ds.EncodeWith(harness.MethodDet, g, 0, nil)
+			},
+			Decode: func(g *graph.Graph, advice local.Advice) (*lcl.Solution, local.Stats, error) {
+				return ds.DecodeOn("ball", g, advice, local.RunConfig{DetLLL: true})
+			},
 		}
 	}
 	tableEnc, tableDec := eth.IntBinaryCodec()

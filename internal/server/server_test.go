@@ -346,8 +346,8 @@ func TestStatsShape(t *testing.T) {
 	if ep.P50Nanos <= 0 || ep.MaxNanos < ep.P50Nanos {
 		t.Errorf("implausible latency stats: %+v", ep)
 	}
-	if len(st.Schemas) != 5 {
-		t.Errorf("schemas = %v, want the 5 registry entries", st.Schemas)
+	if len(st.Schemas) != 9 {
+		t.Errorf("schemas = %v, want the 9 registry entries", st.Schemas)
 	}
 	if st.MaxInflight <= 0 {
 		t.Errorf("max_inflight = %d", st.MaxInflight)

@@ -47,6 +47,14 @@
 # structurally valid decompositions; the ≥1.0x locality speedup floor binds
 # only when the recording host has >= 4 CPUs (DESIGN.md decision 9).
 #
+# A "detlll" section records `locad detlll -json`: the three LLL resolution
+# methods (seeded Moser–Tardos vs the deterministic conditional-expectations
+# and decomposition-guided solvers) compared on solver work and
+# seed-independence, plus the serving layer's warm cache hit rate under
+# rotating request seeds for the det-mode vs the seeded schema entries. The
+# gate requires zero resamplings and exactly one distinct advice output on
+# the det paths, and a det warm hit rate strictly above the seeded one.
+#
 # `make bench` runs the full sweep; `make bench-msg` restricts the regex to
 # the message-engine and LLL benchmarks for quick perf iteration.
 set -eu
@@ -144,6 +152,13 @@ decomp_json="$workdir/decomp.json"
     -sched-workers 2,4,8 -reps 3 -json >"$decomp_json"
 echo "scheduler-sharding decomposition comparison collected"
 
+# Deterministic-LLL comparison: Moser–Tardos vs the conditional-expectations
+# solvers on the 1024-cycle, with the rotating-seed warm-hit probe of the
+# det-mode server schemas. Lands under the "detlll" key.
+detlll_json="$workdir/detlll.json"
+"$locad_bin" detlll -graph cycle -n 1024 -seeds 5 -json >"$detlll_json"
+echo "deterministic-LLL comparison collected"
+
 # Splice the restart probe into the serve report as its "restart" key,
 # preserving the first-line-"{" / last-line-"}" shape embed() expects.
 merged="$workdir/serve_merged.json"
@@ -155,7 +170,7 @@ merged="$workdir/serve_merged.json"
 } > "$merged"
 serve_json="$merged"
 
-awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" -v msgredfile="$msgred_json" -v decompfile="$decomp_json" '
+awk -v date="$(date +%F)" -v race_seconds="$race_seconds" -v expfile="$exp_json" -v servefile="$serve_json" -v clusterfile="$cluster_json" -v msgredfile="$msgred_json" -v decompfile="$decomp_json" -v detlllfile="$detlll_json" '
 BEGIN { n = 0 }
 /^cpu: /  { cpu = substr($0, 6) }
 /^Benchmark/ {
@@ -192,6 +207,7 @@ END {
     embed(clusterfile, "cluster")
     embed(msgredfile, "msgred")
     embed(decompfile, "decomp")
+    embed(detlllfile, "detlll")
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
